@@ -1,0 +1,135 @@
+// Package main benchmarks regenerate every table and figure of the paper's
+// evaluation via the experiment harness. Each benchmark runs the full
+// workload (campaign simulation + analysis) once per iteration and reports
+// the measured values alongside the paper's claims on the first iteration.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Campaign datasets are memoized per (seed, scale), so within one bench run
+// subsequent iterations re-run only the analysis.
+package main
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOpts is the configuration used by the benchmark suite. Scale 0.5
+// keeps the whole suite to a few minutes; raise it for sharper statistics.
+var benchOpts = experiments.Options{Seed: experiments.DefaultOptions().Seed, Scale: 0.5}
+
+var reportOnce sync.Map
+
+// runExperiment executes one experiment per iteration and logs its report
+// once per benchmark.
+func runExperiment(b *testing.B, name string, fn func(experiments.Options) experiments.Report) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep := fn(benchOpts)
+		if _, logged := reportOnce.LoadOrStore(name, true); !logged {
+			b.Logf("\n%s", rep)
+		}
+	}
+}
+
+func BenchmarkFig01CityMap(b *testing.B) {
+	runExperiment(b, "fig01", experiments.Fig01CityMap)
+}
+
+func BenchmarkFig02SpeedLatency(b *testing.B) {
+	runExperiment(b, "fig02", experiments.Fig02SpeedLatency)
+}
+
+func BenchmarkFig04ZoneRadius(b *testing.B) {
+	runExperiment(b, "fig04", experiments.Fig04ZoneRadius)
+}
+
+func BenchmarkFig05SpotCDFs(b *testing.B) {
+	runExperiment(b, "fig05", experiments.Fig05SpotCDFs)
+}
+
+func BenchmarkFig06AllanDeviation(b *testing.B) {
+	runExperiment(b, "fig06", experiments.Fig06AllanDeviation)
+}
+
+func BenchmarkFig07NKLD(b *testing.B) {
+	runExperiment(b, "fig07", experiments.Fig07NKLD)
+}
+
+func BenchmarkFig08ValidationError(b *testing.B) {
+	runExperiment(b, "fig08", experiments.Fig08ValidationError)
+}
+
+func BenchmarkFig09PingFailures(b *testing.B) {
+	runExperiment(b, "fig09", experiments.Fig09PingFailures)
+}
+
+func BenchmarkFig10Stadium(b *testing.B) {
+	runExperiment(b, "fig10", experiments.Fig10Stadium)
+}
+
+func BenchmarkFig11Dominance(b *testing.B) {
+	runExperiment(b, "fig11", experiments.Fig11Dominance)
+}
+
+func BenchmarkFig12RoadDominance(b *testing.B) {
+	runExperiment(b, "fig12", experiments.Fig12RoadDominance)
+}
+
+func BenchmarkFig13RoadThroughput(b *testing.B) {
+	runExperiment(b, "fig13", experiments.Fig13RoadThroughput)
+}
+
+func BenchmarkFig14Applications(b *testing.B) {
+	runExperiment(b, "fig14", experiments.Fig14Applications)
+}
+
+func BenchmarkTable3StaticProximate(b *testing.B) {
+	runExperiment(b, "table3", experiments.Table3StaticProximate)
+}
+
+func BenchmarkTable4Timescales(b *testing.B) {
+	runExperiment(b, "table4", experiments.Table4Timescales)
+}
+
+func BenchmarkTable5PacketCounts(b *testing.B) {
+	runExperiment(b, "table5", experiments.Table5PacketCounts)
+}
+
+func BenchmarkTable6HTTPLatency(b *testing.B) {
+	runExperiment(b, "table6", experiments.Table6HTTPLatency)
+}
+
+func BenchmarkBandwidthTools(b *testing.B) {
+	runExperiment(b, "bwtools", experiments.BandwidthTools)
+}
+
+// Beyond-the-paper extensions and ablations (see EXPERIMENTS.md).
+
+func BenchmarkExt01DeviceHeterogeneity(b *testing.B) {
+	runExperiment(b, "ext01", experiments.Ext01DeviceHeterogeneity)
+}
+
+func BenchmarkExt02ClientOverhead(b *testing.B) {
+	runExperiment(b, "ext02", experiments.Ext02ClientOverhead)
+}
+
+func BenchmarkAblationZoneRadius(b *testing.B) {
+	runExperiment(b, "abl-radius", experiments.AblationZoneRadius)
+}
+
+func BenchmarkAblationSampleBudget(b *testing.B) {
+	runExperiment(b, "abl-budget", experiments.AblationSampleBudget)
+}
+
+func BenchmarkAblationEpochPolicy(b *testing.B) {
+	runExperiment(b, "abl-epoch", experiments.AblationEpochPolicy)
+}
+
+func BenchmarkAblationChangeSigmas(b *testing.B) {
+	runExperiment(b, "abl-sigma", experiments.AblationChangeSigmas)
+}

@@ -1,0 +1,106 @@
+// Command wiscape-coordinator runs the WiScape measurement coordinator: a
+// TCP server that registers client agents, schedules measurement tasks per
+// zone and epoch, ingests reported samples, answers estimate queries, and
+// prints operator alerts (2-sigma changes) as they occur.
+//
+// Usage:
+//
+//	wiscape-coordinator [-addr 127.0.0.1:7411] [-zone-radius 250] [-seed N]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/coordinator"
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7411", "listen address")
+	zoneRadius := flag.Float64("zone-radius", 250, "zone radius in meters")
+	seed := flag.Uint64("seed", 1, "scheduling seed")
+	taskInterval := flag.Duration("task-interval", 5*time.Minute, "client task cadence")
+	snapshotPath := flag.String("snapshot", "", "restore from and periodically persist controller state here")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "coordinator: ", log.LstdFlags)
+
+	cfg := core.DefaultConfig()
+	cfg.ZoneRadiusM = *zoneRadius
+	ctrl := core.NewController(cfg, geo.Madison().Center())
+	if *snapshotPath != "" {
+		if f, err := os.Open(*snapshotPath); err == nil {
+			snap, err := core.ReadSnapshot(f)
+			f.Close()
+			if err != nil {
+				logger.Fatalf("snapshot %s: %v", *snapshotPath, err)
+			}
+			ctrl = core.Restore(snap)
+			logger.Printf("restored %d zone records from %s (taken %s)",
+				len(snap.Entries), *snapshotPath, snap.TakenAt.Format(time.RFC3339))
+		}
+	}
+	persist := func() {
+		if *snapshotPath == "" {
+			return
+		}
+		tmp := *snapshotPath + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			logger.Printf("snapshot: %v", err)
+			return
+		}
+		err = core.WriteSnapshot(f, ctrl.Snapshot(time.Now()))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp, *snapshotPath)
+		}
+		if err != nil {
+			logger.Printf("snapshot: %v", err)
+		}
+	}
+
+	srv, err := coordinator.Serve(ctrl, *addr, coordinator.Options{
+		TaskInterval: *taskInterval,
+		Seed:         *seed,
+		Logf:         coordinator.LogTo(logger),
+	})
+	if err != nil {
+		logger.Fatalf("start: %v", err)
+	}
+	logger.Printf("listening on %s (zone radius %.0f m)", srv.Addr(), *zoneRadius)
+
+	// Drain alerts periodically until interrupted.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	persistTicker := time.NewTicker(30 * time.Second)
+	defer persistTicker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			for _, a := range ctrl.Alerts() {
+				logger.Printf("ALERT zone %s %s %s: %.1f -> %.1f (%.1f sigma) at %s",
+					a.Key.Zone, a.Key.Net, a.Key.Metric,
+					a.Previous.MeanValue, a.Current.MeanValue, a.SigmasMoved(), a.At.Format(time.RFC3339))
+			}
+		case <-persistTicker.C:
+			persist()
+		case <-stop:
+			logger.Printf("shutting down")
+			persist()
+			if err := srv.Close(); err != nil {
+				logger.Printf("close: %v", err)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Command wiscape-report runs every experiment in the suite and prints the
+// paper-vs-measured report for all tables and figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", experiments.DefaultOptions().Seed, "simulation seed")
+	scale := flag.Float64("scale", 1.0, "campaign duration scale (bigger = sharper statistics, slower)")
+	only := flag.String("only", "", "run only the experiment with this id (e.g. fig04)")
+	extensions := flag.Bool("extensions", false, "also run the beyond-the-paper extensions and ablations")
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+	start := time.Now()
+	reports := experiments.All(opts)
+	if *extensions || (*only != "" && (len(*only) > 3 && ((*only)[:3] == "ext" || (*only)[:3] == "abl"))) {
+		reports = append(reports, experiments.Extensions(opts)...)
+	}
+	for _, rep := range reports {
+		if *only != "" && rep.ID != *only {
+			continue
+		}
+		fmt.Println(rep)
+	}
+	fmt.Fprintf(os.Stderr, "report generated in %v (seed %d, scale %g)\n", time.Since(start).Round(time.Millisecond), *seed, *scale)
+}

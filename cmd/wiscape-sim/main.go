@@ -1,0 +1,86 @@
+// Command wiscape-sim runs one of the paper's measurement campaigns
+// (Table 2) over the synthetic radio environment and writes the collected
+// dataset as CSV or JSONL — the simulation counterpart of the CRAWDAD trace
+// release the paper promises.
+//
+// Usage:
+//
+//	wiscape-sim -campaign standalone -days 2 -out standalone.csv
+//	wiscape-sim -campaign spot-nj -days 1 -format jsonl -out spot-nj.jsonl
+//
+// Campaigns: standalone, wirover, spot-wi, spot-nj, proximate-wi,
+// proximate-nj, short-segment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/trace"
+)
+
+func main() {
+	name := flag.String("campaign", "standalone", "campaign to run")
+	days := flag.Float64("days", 1, "simulated duration in days")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	format := flag.String("format", "csv", "output format: csv | jsonl")
+	out := flag.String("out", "-", "output file (- for stdout)")
+	flag.Parse()
+
+	start := radio.Epoch.Add(14 * 24 * time.Hour)
+	dur := time.Duration(*days * 24 * float64(time.Hour))
+
+	var c *trace.Campaign
+	switch *name {
+	case "standalone":
+		c = trace.StandaloneCampaign(*seed, start, dur)
+	case "wirover":
+		c = trace.WiRoverCampaign(*seed, start, dur)
+	case "spot-wi":
+		c = trace.SpotCampaign(radio.RegionWI, *seed, start, dur, time.Minute)
+	case "spot-nj":
+		c = trace.SpotCampaign(radio.RegionNJ, *seed, start, dur, time.Minute)
+	case "proximate-wi":
+		c = trace.ProximateCampaign(radio.RegionWI, *seed, start, dur, time.Minute)
+	case "proximate-nj":
+		c = trace.ProximateCampaign(radio.RegionNJ, *seed, start, dur, time.Minute)
+	case "short-segment":
+		c = trace.ShortSegmentCampaign(*seed, start, dur)
+	default:
+		log.Fatalf("unknown campaign %q", *name)
+	}
+
+	t0 := time.Now()
+	ds := c.Run()
+	fmt.Fprintf(os.Stderr, "%s (simulated %v in %v)\n", ds.Summary(), dur, time.Since(t0).Round(time.Millisecond))
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("create %s: %v", *out, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("close %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	var err error
+	switch *format {
+	case "csv":
+		err = ds.WriteCSV(w)
+	case "jsonl":
+		err = ds.WriteJSONL(w)
+	default:
+		log.Fatalf("unknown format %q", *format)
+	}
+	if err != nil {
+		log.Fatalf("write: %v", err)
+	}
+}

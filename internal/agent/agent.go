@@ -1,0 +1,294 @@
+// Package agent implements the WiScape client: a lightweight user agent
+// that reports its coarse zone to the coordinator, executes the measurement
+// tasks it is assigned (and only those — keeping bandwidth and energy
+// overhead low), and uploads the resulting samples with precise GPS fixes
+// (§3.4).
+package agent
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Agent is one WiScape client device.
+type Agent struct {
+	ID          string
+	DeviceClass string
+	Track       mobility.Track
+	Env         *radio.Environment
+	Networks    []radio.NetworkID
+	Seed        uint64
+
+	// Grid must match the coordinator's zone grid (derived from the same
+	// origin and radius).
+	Grid *geo.Grid
+}
+
+// Stats summarizes one agent run, including the client-side cost WiScape
+// is designed to minimize: measurement bytes and radio-on time (from which
+// an energy figure follows).
+type Stats struct {
+	Rounds        int // zone reports sent
+	TasksExecuted int
+	SamplesSent   int
+	Skipped       int // rounds where the platform was inactive
+
+	MeasurementBytes   int64         // payload bytes moved by measurement tasks
+	MeasurementAirtime time.Duration // radio-active time spent measuring
+}
+
+// cellularActiveWatts is the power draw of a 3G radio in the active state,
+// used for the energy estimate (DCH state, ~1.2 W in contemporary
+// measurements).
+const cellularActiveWatts = 1.2
+
+// EnergyJoules estimates the measurement energy cost of the run.
+func (s Stats) EnergyJoules() float64 {
+	return s.MeasurementAirtime.Seconds() * cellularActiveWatts
+}
+
+// Run connects to the coordinator at addr and executes the protocol over
+// the simulated interval [start, start+duration), reporting its zone every
+// interval. The wall-clock cost is just the protocol round trips; time is
+// virtual.
+func (a *Agent) Run(addr string, start time.Time, duration, interval time.Duration) (Stats, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return Stats{}, fmt.Errorf("agent %s: dial: %w", a.ID, err)
+	}
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+	return a.RunConn(conn, start, duration, interval)
+}
+
+// RunResilient is Run with automatic reconnection: when the coordinator
+// connection drops mid-campaign, the agent redials and resumes from where
+// it left off (real clients outlive coordinator restarts). It gives up
+// after maxRetries consecutive failed attempts.
+func (a *Agent) RunResilient(addr string, start time.Time, duration, interval time.Duration, maxRetries int) (Stats, error) {
+	var total Stats
+	cursor := start
+	end := start.Add(duration)
+	retries := 0
+	for cursor.Before(end) {
+		st, next, err := a.runOnce(addr, cursor, end, interval)
+		total.Rounds += st.Rounds
+		total.TasksExecuted += st.TasksExecuted
+		total.SamplesSent += st.SamplesSent
+		total.Skipped += st.Skipped
+		total.MeasurementBytes += st.MeasurementBytes
+		total.MeasurementAirtime += st.MeasurementAirtime
+		if err == nil {
+			return total, nil
+		}
+		if !next.After(cursor) {
+			// No forward progress this attempt.
+			retries++
+			if retries > maxRetries {
+				return total, fmt.Errorf("agent %s: giving up after %d retries: %w", a.ID, retries-1, err)
+			}
+		} else {
+			retries = 0
+		}
+		cursor = next
+	}
+	return total, nil
+}
+
+// runOnce dials once and runs from cursor; next reports how far the
+// campaign advanced (the resume point on error).
+func (a *Agent) runOnce(addr string, cursor, end time.Time, interval time.Duration) (Stats, time.Time, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return Stats{}, cursor, fmt.Errorf("agent %s: dial: %w", a.ID, err)
+	}
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+	st, err := a.RunConn(conn, cursor, end.Sub(cursor), interval)
+	progressed := time.Duration(st.Rounds+st.Skipped) * interval
+	return st, cursor.Add(progressed), err
+}
+
+// RunConn is Run over an existing wire connection (used with net.Pipe in
+// tests).
+func (a *Agent) RunConn(conn *wire.Conn, start time.Time, duration, interval time.Duration) (Stats, error) {
+	var st Stats
+	if interval <= 0 {
+		return st, fmt.Errorf("agent %s: non-positive interval", a.ID)
+	}
+
+	reply, err := conn.Request(wire.Envelope{Type: wire.TypeHello, Hello: &wire.Hello{
+		ClientID:    a.ID,
+		DeviceClass: a.DeviceClass,
+	}})
+	if err != nil {
+		return st, fmt.Errorf("agent %s: hello: %w", a.ID, err)
+	}
+	if reply.Type != wire.TypeHelloAck {
+		return st, fmt.Errorf("agent %s: unexpected hello reply %q", a.ID, reply.Type)
+	}
+
+	probers := make(map[radio.NetworkID]*simnet.Prober, len(a.Networks))
+	for _, n := range a.Networks {
+		if f := a.Env.Field(n); f != nil {
+			probers[n] = simnet.NewProber(f, rng.Hash64(a.Seed, rng.HashString(a.ID), rng.HashString(string(n))))
+		}
+	}
+
+	end := start.Add(duration)
+	for at := start; at.Before(end); at = at.Add(interval) {
+		pose := a.Track.Pose(at)
+		if !pose.Active {
+			st.Skipped++
+			continue
+		}
+		st.Rounds++
+		reply, err := conn.Request(wire.Envelope{Type: wire.TypeZoneReport, ZoneReport: &wire.ZoneReport{
+			ClientID: a.ID,
+			Zone:     a.Grid.Zone(pose.Loc),
+			Loc:      pose.Loc,
+			SpeedKmh: pose.SpeedKmh,
+			At:       at,
+			Networks: a.Networks,
+		}})
+		if err != nil {
+			return st, fmt.Errorf("agent %s: zone report: %w", a.ID, err)
+		}
+		if reply.Type != wire.TypeTaskList {
+			return st, fmt.Errorf("agent %s: unexpected zone reply %q", a.ID, reply.Type)
+		}
+		tasks := reply.TaskList.Tasks
+		if len(tasks) == 0 {
+			continue
+		}
+		samples, bytes, airtime := a.execute(tasks, probers, pose, at)
+		st.TasksExecuted += len(tasks)
+		st.MeasurementBytes += bytes
+		st.MeasurementAirtime += airtime
+		if len(samples) == 0 {
+			continue
+		}
+		ack, err := conn.Request(wire.Envelope{Type: wire.TypeSampleReport, SampleReport: &wire.SampleReport{
+			ClientID: a.ID,
+			Samples:  samples,
+		}})
+		if err != nil {
+			return st, fmt.Errorf("agent %s: sample report: %w", a.ID, err)
+		}
+		if ack.Type != wire.TypeSampleAck {
+			return st, fmt.Errorf("agent %s: unexpected sample reply %q", a.ID, ack.Type)
+		}
+		st.SamplesSent += ack.SampleAck.Accepted
+	}
+	return st, nil
+}
+
+// execute runs the assigned measurement tasks at the current pose,
+// returning the samples plus the bytes and radio airtime they cost.
+func (a *Agent) execute(tasks []wire.Task, probers map[radio.NetworkID]*simnet.Prober,
+	pose mobility.Pose, at time.Time) (out []trace.Sample, bytes int64, airtime time.Duration) {
+
+	base := trace.Sample{Time: at, Loc: pose.Loc, ClientID: a.ID, Device: a.DeviceClass, SpeedKmh: pose.SpeedKmh}
+	for _, t := range tasks {
+		p := probers[t.Network]
+		if p == nil {
+			continue
+		}
+		s := base
+		s.Network = t.Network
+		s.Metric = t.Metric
+		switch t.Metric {
+		case trace.MetricUDPKbps, trace.MetricJitterMs, trace.MetricLossRate:
+			fr := p.UDPDownload(pose.Loc, at, orDefault(t.UDPPackets, 100), orDefault(t.UDPSizeBytes, 1200))
+			switch t.Metric {
+			case trace.MetricUDPKbps:
+				s.Value = fr.ThroughputKbps()
+			case trace.MetricJitterMs:
+				s.Value = fr.JitterMs()
+			default:
+				s.Value = fr.LossRate()
+			}
+			bytes += int64(orDefault(t.UDPPackets, 100) * orDefault(t.UDPSizeBytes, 1200))
+			airtime += fr.Duration()
+		case trace.MetricUplinkKbps:
+			fr := p.UDPUpload(pose.Loc, at, orDefault(t.UDPPackets, 100), orDefault(t.UDPSizeBytes, 1200))
+			s.Value = fr.ThroughputKbps()
+			bytes += int64(orDefault(t.UDPPackets, 100) * orDefault(t.UDPSizeBytes, 1200))
+			airtime += fr.Duration()
+		case trace.MetricTCPKbps:
+			fr := p.TCPDownload(pose.Loc, at, orDefault(t.TCPBytes, 256<<10))
+			s.Value = fr.ThroughputKbps()
+			bytes += int64(orDefault(t.TCPBytes, 256<<10))
+			airtime += fr.Duration()
+		case trace.MetricRTTMs:
+			pr := p.Ping(pose.Loc, at)
+			s.Value = pr.RTTMs
+			s.Failed = pr.Failed
+			bytes += 128 // request + reply payload
+			airtime += time.Duration(pr.RTTMs * float64(time.Millisecond))
+		default:
+			continue
+		}
+		out = append(out, s)
+	}
+	return out, bytes, airtime
+}
+
+func orDefault(v, d int) int {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+// QueryZoneList fetches every published record for a network/metric from a
+// coordinator — the dashboard/map bulk query.
+func QueryZoneList(addr string, net_ radio.NetworkID, metric trace.Metric) ([]core.Record, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: zone list dial: %w", err)
+	}
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+	reply, err := conn.Request(wire.Envelope{Type: wire.TypeZoneListRequest, ZoneListRequest: &wire.ZoneListRequest{
+		Network: net_, Metric: metric,
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("agent: zone list: %w", err)
+	}
+	if reply.Type != wire.TypeZoneListReply {
+		return nil, fmt.Errorf("agent: unexpected zone list reply %q", reply.Type)
+	}
+	return reply.ZoneListReply.Records, nil
+}
+
+// QueryEstimate asks a coordinator for a zone record over a fresh
+// connection — the application-side API (multi-sim phones, MAR gateways).
+func QueryEstimate(addr string, zone geo.ZoneID, net_ radio.NetworkID, metric trace.Metric) (*wire.EstimateReply, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("agent: query dial: %w", err)
+	}
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+	reply, err := conn.Request(wire.Envelope{Type: wire.TypeEstimateRequest, EstimateRequest: &wire.EstimateRequest{
+		Zone: zone, Network: net_, Metric: metric,
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("agent: query: %w", err)
+	}
+	if reply.Type != wire.TypeEstimateReply {
+		return nil, fmt.Errorf("agent: unexpected query reply %q", reply.Type)
+	}
+	return reply.EstimateReply, nil
+}

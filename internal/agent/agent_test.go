@@ -1,0 +1,180 @@
+package agent
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+const seed = 9099
+
+var start = time.Date(2010, 9, 6, 9, 0, 0, 0, time.UTC)
+
+func testAgent() *Agent {
+	env := radio.NewEnvironment([]radio.NetworkID{radio.NetB}, radio.RegionWI, seed, geo.Madison().Center())
+	return &Agent{
+		ID:          "unit",
+		DeviceClass: string(device.ClassLaptop),
+		Track:       mobility.Static{P: geo.MadisonStaticSites()[0]},
+		Env:         env,
+		Networks:    []radio.NetworkID{radio.NetB},
+		Seed:        seed,
+		Grid:        geo.GridForZoneRadius(geo.Madison().Center(), 250),
+	}
+}
+
+// scriptedServer runs a minimal coordinator side over a pipe: acks hello,
+// replies to every zone report with the given tasks, acks samples. It
+// returns the samples it received.
+func scriptedServer(t *testing.T, conn *wire.Conn, tasks []wire.Task, out *[]trace.Sample) {
+	t.Helper()
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch req.Type {
+		case wire.TypeHello:
+			_ = conn.Send(wire.Envelope{Type: wire.TypeHelloAck, HelloAck: &wire.HelloAck{ServerID: "scripted"}})
+		case wire.TypeZoneReport:
+			_ = conn.Send(wire.Envelope{Type: wire.TypeTaskList, TaskList: &wire.TaskList{Tasks: tasks}})
+		case wire.TypeSampleReport:
+			*out = append(*out, req.SampleReport.Samples...)
+			_ = conn.Send(wire.Envelope{Type: wire.TypeSampleAck, SampleAck: &wire.SampleAck{Accepted: len(req.SampleReport.Samples)}})
+		default:
+			_ = conn.Send(wire.Envelope{Type: wire.TypeError, Error: &wire.ErrorMsg{Message: "unexpected"}})
+			return
+		}
+	}
+}
+
+func TestRunConnExecutesEveryTaskKind(t *testing.T) {
+	a := testAgent()
+	client, server := net.Pipe()
+	cc, sc := wire.NewConn(client), wire.NewConn(server)
+	defer cc.Close()
+	defer sc.Close()
+
+	tasks := []wire.Task{
+		{Network: radio.NetB, Metric: trace.MetricUDPKbps, UDPPackets: 50, UDPSizeBytes: 1200},
+		{Network: radio.NetB, Metric: trace.MetricTCPKbps, TCPBytes: 64 << 10},
+		{Network: radio.NetB, Metric: trace.MetricJitterMs},
+		{Network: radio.NetB, Metric: trace.MetricLossRate},
+		{Network: radio.NetB, Metric: trace.MetricRTTMs},
+		{Network: radio.NetB, Metric: trace.MetricUplinkKbps},
+	}
+	var got []trace.Sample
+	go scriptedServer(t, sc, tasks, &got)
+
+	st, err := a.RunConn(cc, start, 10*time.Minute, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 2 {
+		t.Fatalf("rounds %d", st.Rounds)
+	}
+	if st.SamplesSent != 12 {
+		t.Fatalf("samples sent %d, want 12 (6 tasks x 2 rounds)", st.SamplesSent)
+	}
+	if st.MeasurementBytes == 0 || st.MeasurementAirtime == 0 {
+		t.Fatalf("overhead accounting missing: %+v", st)
+	}
+	if st.EnergyJoules() <= 0 {
+		t.Fatal("energy estimate missing")
+	}
+	metrics := map[trace.Metric]int{}
+	for _, s := range got {
+		metrics[s.Metric]++
+		if s.Device != string(device.ClassLaptop) {
+			t.Fatalf("sample missing device class: %+v", s)
+		}
+		if s.ClientID != "unit" {
+			t.Fatalf("sample missing client id: %+v", s)
+		}
+	}
+	for _, task := range tasks {
+		if metrics[task.Metric] != 2 {
+			t.Fatalf("metric %s executed %d times, want 2", task.Metric, metrics[task.Metric])
+		}
+	}
+}
+
+func TestRunConnSkipsUnknownNetworkAndMetric(t *testing.T) {
+	a := testAgent()
+	client, server := net.Pipe()
+	cc, sc := wire.NewConn(client), wire.NewConn(server)
+	defer cc.Close()
+	defer sc.Close()
+
+	tasks := []wire.Task{
+		{Network: radio.NetA, Metric: trace.MetricUDPKbps}, // agent has no NetA modem
+		{Network: radio.NetB, Metric: "bogus-metric"},
+	}
+	var got []trace.Sample
+	go scriptedServer(t, sc, tasks, &got)
+
+	st, err := a.RunConn(cc, start, 5*time.Minute, 5*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SamplesSent != 0 || len(got) != 0 {
+		t.Fatalf("impossible tasks produced samples: %+v", got)
+	}
+}
+
+func TestRunConnRejectsBadInterval(t *testing.T) {
+	a := testAgent()
+	client, _ := net.Pipe()
+	cc := wire.NewConn(client)
+	defer cc.Close()
+	if _, err := a.RunConn(cc, start, time.Hour, 0); err == nil {
+		t.Fatal("zero interval must error")
+	}
+}
+
+func TestRunConnUnexpectedHelloReply(t *testing.T) {
+	a := testAgent()
+	client, server := net.Pipe()
+	cc, sc := wire.NewConn(client), wire.NewConn(server)
+	defer cc.Close()
+	defer sc.Close()
+	go func() {
+		if _, err := sc.Recv(); err != nil {
+			return
+		}
+		_ = sc.Send(wire.Envelope{Type: wire.TypeError, Error: &wire.ErrorMsg{Message: "denied"}})
+	}()
+	_, err := a.RunConn(cc, start, time.Hour, 5*time.Minute)
+	if err == nil || !strings.Contains(err.Error(), "unexpected hello reply") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunResilientGivesUpWhenUnreachable(t *testing.T) {
+	a := testAgent()
+	// Reserve and immediately close a port: nothing is listening there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	_, err = a.RunResilient(addr, start, time.Hour, 5*time.Minute, 2)
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOrDefault(t *testing.T) {
+	if orDefault(0, 7) != 7 || orDefault(-1, 7) != 7 || orDefault(3, 7) != 3 {
+		t.Fatal("orDefault broken")
+	}
+}

@@ -1,0 +1,149 @@
+// Package mar implements the MAR commuter gateway of Rodriguez et al.
+// (MobiSys 2004) as used in the paper's §4.2.2: a vehicle-mounted router
+// with one interface per cellular network that stripes client requests
+// across interfaces. The paper shows that replacing its throughput-weighted
+// round-robin striping with WiScape's per-zone estimates cuts HTTP latency
+// by ~32-37% (Table 6, Fig. 14b).
+package mar
+
+import (
+	"time"
+
+	"repro/internal/apps/multisim"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+	"repro/internal/webload"
+)
+
+// Scheduler assigns a request to one of the gateway's interfaces.
+type Scheduler interface {
+	Name() string
+	// Assign picks the interface for a request of sizeBytes issued at (loc,
+	// at), given each interface's busy-until time.
+	Assign(loc geo.Point, at time.Time, sizeBytes int, busyUntil map[radio.NetworkID]time.Time) radio.NetworkID
+}
+
+// RoundRobin stripes requests across interfaces in fixed rotation — the
+// MAR-RR baseline.
+type RoundRobin struct {
+	Networks []radio.NetworkID
+	next     int
+}
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "mar-rr" }
+
+// Assign implements Scheduler.
+func (r *RoundRobin) Assign(geo.Point, time.Time, int, map[radio.NetworkID]time.Time) radio.NetworkID {
+	n := r.Networks[r.next%len(r.Networks)]
+	r.next++
+	return n
+}
+
+// WiScapeScheduler maps each request to the interface with the earliest
+// predicted completion, using per-zone throughput estimates — "intelligently
+// mapping data requests to interfaces based on locality of operation".
+type WiScapeScheduler struct {
+	Ctrl     *core.Controller
+	Metric   trace.Metric // typically trace.MetricTCPKbps
+	Networks []radio.NetworkID
+}
+
+// Name implements Scheduler.
+func (w *WiScapeScheduler) Name() string { return "mar-wiscape" }
+
+// Assign implements Scheduler.
+func (w *WiScapeScheduler) Assign(loc geo.Point, at time.Time, sizeBytes int,
+	busyUntil map[radio.NetworkID]time.Time) radio.NetworkID {
+
+	zone := w.Ctrl.ZoneOf(loc)
+	best := w.Networks[0]
+	var bestDone time.Time
+	first := true
+	for _, n := range w.Networks {
+		xfer, ok := multisim.PredictCompletion(w.Ctrl, zone, n, w.Metric, sizeBytes)
+		if !ok {
+			xfer = time.Duration(float64(sizeBytes*8)/500) * time.Millisecond
+		}
+		startAt := at
+		if bu := busyUntil[n]; bu.After(startAt) {
+			startAt = bu
+		}
+		done := startAt.Add(xfer)
+		if first || done.Before(bestDone) {
+			best, bestDone, first = n, done, false
+		}
+	}
+	return best
+}
+
+// Result summarizes a gateway run.
+type Result struct {
+	Scheduler  string
+	Makespan   time.Duration // completion of the last request
+	PerPage    []time.Duration
+	NetworkUse map[radio.NetworkID]int
+}
+
+// RunDownloads plays the MAR experiment: the gateway moves along track
+// while clients issue the given pages back to back; each request is
+// dispatched to an interface by sched and interfaces serve their queues in
+// parallel. Returns the makespan and per-page latencies.
+func RunDownloads(sched Scheduler, probers map[radio.NetworkID]*simnet.Prober,
+	track mobility.Track, start time.Time, pages []webload.Page, issueGap time.Duration) Result {
+
+	res := Result{Scheduler: sched.Name(), NetworkUse: make(map[radio.NetworkID]int)}
+	busy := make(map[radio.NetworkID]time.Time)
+
+	at := start
+	var last time.Time
+	for _, pg := range pages {
+		pose := track.Pose(at)
+		n := sched.Assign(pose.Loc, at, pg.SizeBytes, busy)
+		p := probers[n]
+		if p == nil {
+			continue
+		}
+		startAt := at
+		if bu := busy[n]; bu.After(startAt) {
+			startAt = bu
+		}
+		// The download runs from startAt at wherever the vehicle is then.
+		d := p.HTTPGetPersistent(track.Pose(startAt).Loc, startAt, pg.SizeBytes)
+		done := startAt.Add(d)
+		busy[n] = done
+		res.NetworkUse[n]++
+		res.PerPage = append(res.PerPage, done.Sub(at))
+		if done.After(last) {
+			last = done
+		}
+		at = at.Add(issueGap)
+	}
+	if !last.IsZero() {
+		res.Makespan = last.Sub(start)
+	}
+	return res
+}
+
+// FetchSite downloads a site's objects through the gateway (Fig. 14b),
+// driving issueGap between object requests.
+func FetchSite(sched Scheduler, probers map[radio.NetworkID]*simnet.Prober,
+	track mobility.Track, start time.Time, site webload.Site, issueGap time.Duration) Result {
+	return RunDownloads(sched, probers, track, start, site.Objects, issueGap)
+}
+
+// NewProbers builds one prober per network over env, a convenience for the
+// application experiments.
+func NewProbers(env *radio.Environment, nets []radio.NetworkID, seed uint64) map[radio.NetworkID]*simnet.Prober {
+	out := make(map[radio.NetworkID]*simnet.Prober, len(nets))
+	for i, n := range nets {
+		if f := env.Field(n); f != nil {
+			out[n] = simnet.NewProber(f, seed+uint64(i)*7919)
+		}
+	}
+	return out
+}

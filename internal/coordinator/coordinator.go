@@ -1,0 +1,330 @@
+// Package coordinator implements the WiScape measurement coordinator as a
+// network server: it registers clients, receives their coarse zone reports,
+// hands out probabilistic measurement task lists sized to each zone's needs
+// (§3.4), ingests the resulting samples into a core.Controller, and answers
+// estimate queries from applications.
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Options configures a coordinator server.
+type Options struct {
+	// Networks and Metrics to monitor; defaults: all three networks, UDP
+	// throughput and RTT.
+	Networks []radio.NetworkID
+	Metrics  []trace.Metric
+
+	// TaskInterval is the zone-report/task cadence expected from clients.
+	TaskInterval time.Duration
+
+	// Seed drives the probabilistic task assignment.
+	Seed uint64
+
+	// Logf receives server diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if len(o.Networks) == 0 {
+		o.Networks = radio.AllNetworks
+	}
+	if len(o.Metrics) == 0 {
+		o.Metrics = []trace.Metric{trace.MetricUDPKbps, trace.MetricRTTMs}
+	}
+	if o.TaskInterval <= 0 {
+		o.TaskInterval = 5 * time.Minute
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// clientState is the registry entry for one connected client.
+type clientState struct {
+	id       string
+	device   string
+	lastZone geo.ZoneID
+	lastSeen time.Time
+	hasZone  bool
+}
+
+// Server is a running coordinator.
+type Server struct {
+	ctrl *core.Controller
+	opts Options
+	ln   net.Listener
+
+	mu      sync.Mutex
+	clients map[string]*clientState
+	conns   map[net.Conn]struct{}
+	r       *rng.Rand
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// Serve starts a coordinator on addr (e.g. "127.0.0.1:0") and returns once
+// it is listening.
+func Serve(ctrl *core.Controller, addr string, opts Options) (*Server, error) {
+	opts.fill()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ctrl:    ctrl,
+		opts:    opts,
+		ln:      ln,
+		clients: make(map[string]*clientState),
+		conns:   make(map[net.Conn]struct{}),
+		r:       rng.NewNamed(opts.Seed, "coordinator-tasks"),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Controller exposes the underlying estimator state.
+func (s *Server) Controller() *core.Controller { return s.ctrl }
+
+// Close stops accepting, closes every active connection (a stalled client
+// must not hold shutdown hostage) and waits for handlers to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for nc := range s.conns {
+		_ = nc.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+// ClientCount returns the number of registered clients.
+func (s *Server) ClientCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.clients)
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.opts.Logf("coordinator: accept: %v", err)
+			continue
+		}
+		s.wg.Add(1)
+		go s.handle(nc)
+	}
+}
+
+// handle runs one connection's request/response loop. Every request gets
+// exactly one reply; protocol errors get an error reply and terminate the
+// connection.
+func (s *Server) handle(nc net.Conn) {
+	defer s.wg.Done()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = nc.Close()
+		return
+	}
+	s.conns[nc] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, nc)
+		s.mu.Unlock()
+	}()
+	c := wire.NewConn(nc)
+	defer c.Close()
+	for {
+		req, err := c.Recv()
+		if err != nil {
+			if errors.Is(err, wire.ErrMessageTooLarge) {
+				_ = c.Send(errEnvelope("message too large"))
+			}
+			return
+		}
+		reply, fatal := s.dispatch(req)
+		if err := c.Send(reply); err != nil {
+			return
+		}
+		if fatal {
+			return
+		}
+	}
+}
+
+func errEnvelope(msg string) wire.Envelope {
+	return wire.Envelope{Type: wire.TypeError, Error: &wire.ErrorMsg{Message: msg}}
+}
+
+// dispatch maps one request to its reply; fatal=true closes the connection
+// after replying.
+func (s *Server) dispatch(req wire.Envelope) (reply wire.Envelope, fatal bool) {
+	switch req.Type {
+	case wire.TypeHello:
+		if req.Hello == nil || req.Hello.ClientID == "" {
+			return errEnvelope("hello requires a client id"), true
+		}
+		s.mu.Lock()
+		s.clients[req.Hello.ClientID] = &clientState{id: req.Hello.ClientID, device: req.Hello.DeviceClass}
+		s.mu.Unlock()
+		s.opts.Logf("coordinator: client %s (%s) registered", req.Hello.ClientID, req.Hello.DeviceClass)
+		return wire.Envelope{Type: wire.TypeHelloAck, HelloAck: &wire.HelloAck{
+			ServerID:        "wiscape-coordinator",
+			TaskIntervalSec: s.opts.TaskInterval.Seconds(),
+		}}, false
+
+	case wire.TypeZoneReport:
+		zr := req.ZoneReport
+		if zr == nil || zr.ClientID == "" {
+			return errEnvelope("zone report requires a client id"), true
+		}
+		tasks := s.assignTasks(zr)
+		return wire.Envelope{Type: wire.TypeTaskList, TaskList: &wire.TaskList{Tasks: tasks}}, false
+
+	case wire.TypeSampleReport:
+		sr := req.SampleReport
+		if sr == nil {
+			return errEnvelope("empty sample report"), true
+		}
+		accepted := 0
+		for _, smp := range sr.Samples {
+			if smp.ClientID == "" {
+				smp.ClientID = sr.ClientID
+			}
+			s.ctrl.Ingest(smp)
+			accepted++
+		}
+		return wire.Envelope{Type: wire.TypeSampleAck, SampleAck: &wire.SampleAck{Accepted: accepted}}, false
+
+	case wire.TypeZoneListRequest:
+		zl := req.ZoneListRequest
+		if zl == nil {
+			return errEnvelope("empty zone list request"), true
+		}
+		return wire.Envelope{Type: wire.TypeZoneListReply, ZoneListReply: &wire.ZoneListReply{
+			Records: s.ctrl.Records(zl.Network, zl.Metric),
+		}}, false
+
+	case wire.TypeEstimateRequest:
+		er := req.EstimateRequest
+		if er == nil {
+			return errEnvelope("empty estimate request"), true
+		}
+		rec, ok := s.ctrl.Estimate(core.Key{Zone: er.Zone, Net: er.Network, Metric: er.Metric})
+		return wire.Envelope{Type: wire.TypeEstimateReply, EstimateReply: &wire.EstimateReply{Found: ok, Record: rec}}, false
+
+	default:
+		return errEnvelope(fmt.Sprintf("unexpected message type %q", req.Type)), true
+	}
+}
+
+// assignTasks implements the probabilistic scheduler of §3.4: once per
+// epoch per zone, each active client is tasked with a probability chosen so
+// the expected sample count meets the zone's NKLD-derived requirement.
+func (s *Server) assignTasks(zr *wire.ZoneReport) []wire.Task {
+	s.mu.Lock()
+	st, ok := s.clients[zr.ClientID]
+	if !ok {
+		// Tolerate zone reports from clients whose hello we lost
+		// (reconnects); register them implicitly.
+		st = &clientState{id: zr.ClientID}
+		s.clients[zr.ClientID] = st
+	}
+	st.lastZone = zr.Zone
+	st.lastSeen = zr.At
+	st.hasZone = true
+	// Count active clients in this zone (seen within 3 task intervals).
+	active := 0
+	for _, other := range s.clients {
+		if other.hasZone && other.lastZone == zr.Zone &&
+			zr.At.Sub(other.lastSeen) < 3*s.opts.TaskInterval {
+			active++
+		}
+	}
+	s.mu.Unlock()
+	if active < 1 {
+		active = 1
+	}
+
+	var tasks []wire.Task
+	clientNets := zr.Networks
+	if len(clientNets) == 0 {
+		clientNets = s.opts.Networks
+	}
+	for _, net := range s.opts.Networks {
+		if !contains(clientNets, net) {
+			continue
+		}
+		for _, metric := range s.opts.Metrics {
+			key := core.Key{Zone: zr.Zone, Net: net, Metric: metric}
+			epoch := s.ctrl.EpochOf(key)
+			rounds := core.RoundsPerEpoch(epoch, s.opts.TaskInterval)
+			// The per-zone requirement starts at the configured default and
+			// converges to the NKLD-derived count as history accumulates
+			// (§3.3/§3.4).
+			required := s.ctrl.RequiredSamplesFor(key)
+			p := core.TaskProbability(required, active, rounds)
+			s.mu.Lock()
+			hit := s.r.Bool(p)
+			s.mu.Unlock()
+			if !hit {
+				continue
+			}
+			t := wire.Task{Network: net, Metric: metric}
+			switch metric {
+			case trace.MetricUDPKbps, trace.MetricJitterMs, trace.MetricLossRate, trace.MetricUplinkKbps:
+				t.UDPPackets = 100
+				t.UDPSizeBytes = 1200
+			case trace.MetricTCPKbps:
+				t.TCPBytes = 256 << 10
+			}
+			tasks = append(tasks, t)
+		}
+	}
+	return tasks
+}
+
+func contains(nets []radio.NetworkID, n radio.NetworkID) bool {
+	for _, x := range nets {
+		if x == n {
+			return true
+		}
+	}
+	return false
+}
+
+// LogTo returns an Options.Logf writing to the standard logger, for the
+// cmd binaries.
+func LogTo(l *log.Logger) func(string, ...any) {
+	return func(format string, args ...any) { l.Printf(format, args...) }
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// ZoneRelStdDevs bins samples into zones of the given radius and returns
+// the relative standard deviation of each zone having at least minSamples
+// samples — the quantity swept over radii in Fig. 4 to choose the 250 m
+// zone size.
+func ZoneRelStdDevs(samples []trace.Sample, origin geo.Point, radiusM float64, minSamples int) []float64 {
+	grid := geo.GridForZoneRadius(origin, radiusM)
+	byZone := trace.ByZone(samples, grid)
+	var out []float64
+	for _, z := range trace.ZonesWithAtLeast(byZone, minSamples) {
+		out = append(out, stats.RelStdDev(trace.Values(byZone[z])))
+	}
+	return out
+}
+
+// ValidationError is one zone's client-sourced estimation error (Fig. 8).
+type ValidationError struct {
+	Zone         geo.ZoneID
+	TruthMean    float64
+	ClientMean   float64
+	ClientCount  int
+	RelativeErr  float64 // |client - truth| / truth
+	TruthSamples int
+}
+
+// Validate reproduces the paper's §3.4 validation: each zone's samples are
+// partitioned into two disjoint subsets — a client-sourced set (of which
+// clientN random samples are used, modelling what WiScape would collect)
+// and a ground-truth set providing the expected value. The output is each
+// zone's relative estimation error.
+func Validate(samples []trace.Sample, origin geo.Point, radiusM float64, minSamples, clientN int, seed uint64) []ValidationError {
+	grid := geo.GridForZoneRadius(origin, radiusM)
+	byZone := trace.ByZone(samples, grid)
+	r := rng.NewNamed(seed, "validate")
+	var out []ValidationError
+	for _, z := range trace.ZonesWithAtLeast(byZone, minSamples) {
+		vals := trace.Values(byZone[z])
+		perm := r.Perm(len(vals))
+		half := len(vals) / 2
+		n := clientN
+		if n > half {
+			n = half
+		}
+		client := make([]float64, n)
+		for i := 0; i < n; i++ {
+			client[i] = vals[perm[i]]
+		}
+		truthVals := make([]float64, 0, len(vals)-half)
+		for _, idx := range perm[half:] {
+			truthVals = append(truthVals, vals[idx])
+		}
+		truth := stats.Mean(truthVals)
+		if truth == 0 {
+			continue
+		}
+		cm := stats.Mean(client)
+		out = append(out, ValidationError{
+			Zone:         z,
+			TruthMean:    truth,
+			ClientMean:   cm,
+			ClientCount:  n,
+			RelativeErr:  math.Abs(cm-truth) / truth,
+			TruthSamples: len(truthVals),
+		})
+	}
+	return out
+}
+
+// ErrorCDF extracts the relative errors from a validation run as a CDF —
+// the Fig. 8 series ("less than 4% error for more than 70% of zones").
+func ErrorCDF(errs []ValidationError) *stats.CDF {
+	vals := make([]float64, len(errs))
+	for i, e := range errs {
+		vals[i] = e.RelativeErr
+	}
+	return stats.NewCDF(vals)
+}

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// zoneState is the mutable per-(zone, network, metric) state.
+type zoneState struct {
+	history []stats.TimedValue // bounded sample history (for epoch/NKLD analysis)
+
+	epoch        time.Duration // current epoch length (Allan minimum)
+	epochValid   bool
+	epochSamples int // history length when the epoch was last computed
+
+	required        int // NKLD-derived samples per epoch (0 = not yet derived)
+	requiredSamples int // history length when required was last computed
+
+	curEpochIdx int64       // index of the epoch window being accumulated
+	cur         stats.Accum // accumulator for the current epoch
+
+	published  Record
+	hasRecord  bool
+	totalCount int64
+}
+
+// Controller is the WiScape measurement coordinator's brain: it ingests
+// client-sourced samples, maintains per-zone-epoch estimates, decides how
+// many samples each zone needs and how often, and emits alerts on abrupt
+// changes. It is safe for concurrent use.
+type Controller struct {
+	cfg  Config
+	grid *geo.Grid
+
+	normalizer *device.Normalizer // optional cross-class normalization (§3.3)
+
+	mu       sync.Mutex
+	zones    map[Key]*zoneState
+	alerts   []Alert
+	failures map[failKey]map[int64]int // ping failures per zone per day (Fig. 9)
+}
+
+// failKey tracks ping failures per zone and network.
+type failKey struct {
+	Zone geo.ZoneID
+	Net  radio.NetworkID
+}
+
+// NewController returns a controller for a region centered at origin.
+func NewController(cfg Config, origin geo.Point) *Controller {
+	if cfg.ZoneRadiusM <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Controller{
+		cfg:      cfg,
+		grid:     geo.GridForZoneRadius(origin, cfg.ZoneRadiusM),
+		zones:    make(map[Key]*zoneState),
+		failures: make(map[failKey]map[int64]int),
+	}
+}
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// SetNormalizer installs a device normalizer: samples tagged with a device
+// class are mapped into reference-class units before aggregation, making
+// cross-class composition sound (§3.3). Call during setup, before Ingest.
+func (c *Controller) SetNormalizer(n *device.Normalizer) { c.normalizer = n }
+
+// Grid returns the zone grid.
+func (c *Controller) Grid() *geo.Grid { return c.grid }
+
+// ZoneOf maps a location to its zone.
+func (c *Controller) ZoneOf(p geo.Point) geo.ZoneID { return c.grid.Zone(p) }
+
+// Ingest folds one client sample into the zone state, handling epoch
+// rollover, record publication and ping-failure tracking.
+func (c *Controller) Ingest(s trace.Sample) {
+	// Reject unusable values outright: one NaN would poison a zone's
+	// accumulator forever.
+	if math.IsNaN(s.Value) || math.IsInf(s.Value, 0) {
+		return
+	}
+	if c.normalizer != nil && s.Device != "" && !s.Failed {
+		s.Value = c.normalizer.Normalize(s.Value, device.Class(s.Device), string(s.Metric))
+	}
+	zone := c.grid.Zone(s.Loc)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if s.Metric == trace.MetricRTTMs {
+		fk := failKey{Zone: zone, Net: s.Network}
+		day := s.Time.Sub(radio.Epoch) / (24 * time.Hour)
+		if c.failures[fk] == nil {
+			c.failures[fk] = make(map[int64]int)
+		}
+		if s.Failed {
+			c.failures[fk][int64(day)]++
+		} else {
+			c.failures[fk][int64(day)] += 0 // mark the day as observed
+		}
+	}
+	if s.Failed {
+		return
+	}
+
+	key := Key{Zone: zone, Net: s.Network, Metric: s.Metric}
+	st := c.zones[key]
+	if st == nil {
+		st = &zoneState{epoch: c.cfg.DefaultEpoch, curEpochIdx: -1}
+		c.zones[key] = st
+	}
+
+	// Bounded history (drop oldest half when full, keeping memory O(1)).
+	if len(st.history) >= c.cfg.HistoryLimit {
+		half := c.cfg.HistoryLimit / 2
+		st.history = append(st.history[:0], st.history[len(st.history)-half:]...)
+	}
+	st.history = append(st.history, stats.TimedValue{T: s.Time, V: s.Value})
+	st.totalCount++
+
+	// Periodically re-derive the zone epoch from history (every time the
+	// history grows 50% past the last analysis).
+	if !c.cfg.DisableEpochAdaptation && (!st.epochValid || len(st.history) > st.epochSamples*3/2) {
+		if ep, ok := c.epochFromHistory(st.history); ok {
+			st.epoch = ep
+			st.epochValid = true
+			st.epochSamples = len(st.history)
+		}
+	}
+
+	idx := int64(s.Time.Sub(radio.Epoch) / st.epoch)
+	if st.curEpochIdx >= 0 && idx != st.curEpochIdx {
+		c.finalizeEpochLocked(key, st, s.Time)
+	}
+	st.curEpochIdx = idx
+	st.cur.Add(s.Value)
+}
+
+// IngestDataset folds a whole dataset in time order.
+func (c *Controller) IngestDataset(d *trace.Dataset) {
+	sorted := &trace.Dataset{Name: d.Name, Samples: append([]trace.Sample(nil), d.Samples...)}
+	sorted.SortByTime()
+	for _, s := range sorted.Samples {
+		c.Ingest(s)
+	}
+}
+
+// finalizeEpochLocked closes the current epoch window: publishes a first
+// record, or replaces the published record when the estimate moved by more
+// than ChangeSigmas standard deviations (emitting an alert).
+func (c *Controller) finalizeEpochLocked(key Key, st *zoneState, at time.Time) {
+	if st.cur.Count() == 0 {
+		return
+	}
+	candidate := Record{
+		Key:       key,
+		MeanValue: st.cur.Mean(),
+		StdDev:    st.cur.StdDev(),
+		Samples:   st.cur.Count(),
+		UpdatedAt: at,
+	}
+	defer func() { st.cur.Reset() }()
+
+	if !st.hasRecord {
+		st.published = candidate
+		st.hasRecord = true
+		return
+	}
+	prev := st.published
+	delta := candidate.MeanValue - prev.MeanValue
+	if delta < 0 {
+		delta = -delta
+	}
+	threshold := c.cfg.ChangeSigmas * prev.StdDev
+	if prev.StdDev == 0 {
+		m := prev.MeanValue
+		if m < 0 {
+			m = -m
+		}
+		threshold = c.cfg.ChangeSigmas * 0.05 * m // degenerate record: 10% move
+	}
+	if floor := c.cfg.AlertFloors[key.Metric]; threshold < floor {
+		threshold = floor
+	}
+	// Only statistically meaningful epochs may flip the record and page an
+	// operator; drive-by epochs with a handful of samples blend in below,
+	// as do metrics whose record is degenerate at zero (threshold 0 would
+	// alert on any noise — e.g. a single lost packet in a loss-free zone).
+	if threshold > 0 && delta > threshold && candidate.Samples >= int64(c.cfg.MinAlertSamples) && prev.Samples >= int64(c.cfg.MinAlertSamples) {
+		st.published = candidate
+		c.alerts = append(c.alerts, Alert{Key: key, Previous: prev, Current: candidate, At: at})
+		return
+	}
+	// Small move: refresh the record's recency and smooth the estimate so
+	// slow drift is tracked without alert noise.
+	st.published.MeanValue = 0.7*prev.MeanValue + 0.3*candidate.MeanValue
+	st.published.StdDev = 0.7*prev.StdDev + 0.3*candidate.StdDev
+	st.published.Samples += candidate.Samples
+	st.published.UpdatedAt = at
+}
+
+// epochFromHistory derives a zone epoch as the Allan-deviation minimum of
+// the regularized history (§3.2.2).
+func (c *Controller) epochFromHistory(history []stats.TimedValue) (time.Duration, bool) {
+	const period = time.Minute
+	series := stats.RegularSeries(history, period)
+	// Require enough coverage for at least two windows at the sweep floor
+	// times ten, or the estimate is noise.
+	if len(series) < 60 {
+		return 0, false
+	}
+	maxWindow := c.cfg.EpochSweepMax
+	// Keep at least ten windows per sweep point: Allan estimates from fewer
+	// are unreliable and yield spurious right-edge minima.
+	if limit := len(series) / 10; limit < maxWindow {
+		maxWindow = limit
+	}
+	windows := stats.LogSpacedWindows(c.cfg.EpochSweepMin, maxWindow, 25)
+	best, _ := stats.MinAllanWindow(series, windows)
+	if best <= 0 {
+		return 0, false
+	}
+	epoch := time.Duration(best) * period
+	if epoch < c.cfg.MinEpoch {
+		epoch = c.cfg.MinEpoch
+	}
+	return epoch, true
+}
+
+// Estimate returns the published record for a key.
+func (c *Controller) Estimate(key Key) (Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.zones[key]
+	if st == nil {
+		return Record{}, false
+	}
+	if st.hasRecord {
+		return st.published, true
+	}
+	// Before the first epoch closes, serve the running accumulator (marked
+	// by UpdatedAt zero).
+	if st.cur.Count() > 0 {
+		return Record{
+			Key:       key,
+			MeanValue: st.cur.Mean(),
+			StdDev:    st.cur.StdDev(),
+			Samples:   st.cur.Count(),
+		}, true
+	}
+	return Record{}, false
+}
+
+// EstimateAt is Estimate keyed by location instead of zone id.
+func (c *Controller) EstimateAt(p geo.Point, net radio.NetworkID, m trace.Metric) (Record, bool) {
+	return c.Estimate(Key{Zone: c.grid.Zone(p), Net: net, Metric: m})
+}
+
+// RequiredSamplesFor returns the zone's NKLD-derived per-epoch sample
+// requirement (§3.3), falling back to the configured default until enough
+// history has accumulated. The computation is cached and refreshed as the
+// history grows, so the scheduler can call this on every task round.
+func (c *Controller) RequiredSamplesFor(key Key) int {
+	c.mu.Lock()
+	st := c.zones[key]
+	if st == nil {
+		c.mu.Unlock()
+		return c.cfg.DefaultSamplesPerEpoch
+	}
+	needRefresh := st.required == 0 || len(st.history) > st.requiredSamples*2
+	if !needRefresh {
+		n := st.required
+		c.mu.Unlock()
+		return n
+	}
+	// Copy the values out so the (100-iteration resampling) analysis runs
+	// outside the lock.
+	vals := make([]float64, len(st.history))
+	for i, tv := range st.history {
+		vals[i] = tv.V
+	}
+	histLen := len(st.history)
+	c.mu.Unlock()
+
+	n, ok := RequiredSamples(vals, c.cfg, uint64(histLen))
+	if !ok {
+		n = c.cfg.DefaultSamplesPerEpoch
+	}
+
+	c.mu.Lock()
+	st.required = n
+	st.requiredSamples = histLen
+	c.mu.Unlock()
+	return n
+}
+
+// EpochOf returns the zone's current epoch length.
+func (c *Controller) EpochOf(key Key) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.zones[key]; st != nil {
+		return st.epoch
+	}
+	return c.cfg.DefaultEpoch
+}
+
+// SampleCount returns the total samples ingested for a key.
+func (c *Controller) SampleCount(key Key) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.zones[key]; st != nil {
+		return st.totalCount
+	}
+	return 0
+}
+
+// History returns a copy of the retained sample history for a key.
+func (c *Controller) History(key Key) []stats.TimedValue {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st := c.zones[key]; st != nil {
+		return append([]stats.TimedValue(nil), st.history...)
+	}
+	return nil
+}
+
+// Records returns every published record for a network and metric, in
+// deterministic zone order — the bulk query behind operator dashboards and
+// map renderers.
+func (c *Controller) Records(net radio.NetworkID, m trace.Metric) []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Record
+	for k, st := range c.zones {
+		if k.Net != net || k.Metric != m || !st.hasRecord {
+			continue
+		}
+		out = append(out, st.published)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key.Zone, out[j].Key.Zone
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
+	return out
+}
+
+// Alerts drains the pending alert queue.
+func (c *Controller) Alerts() []Alert {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.alerts
+	c.alerts = nil
+	return out
+}
+
+// Keys returns all tracked keys in deterministic order.
+func (c *Controller) Keys() []Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Key, 0, len(c.zones))
+	for k := range c.zones {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Zone != b.Zone {
+			if a.Zone.X != b.Zone.X {
+				return a.Zone.X < b.Zone.X
+			}
+			return a.Zone.Y < b.Zone.Y
+		}
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		return a.Metric < b.Metric
+	})
+	return out
+}
+
+// DaysWithPingFailures returns, for a zone and network, the number of
+// observed days and the longest run of consecutive *observed* days having
+// at least one failed ping — the Fig. 9 trouble signal. Days on which the
+// zone was not visited at all do not break a run (opportunistic coverage
+// is inherently gappy); a visited day without failures does.
+func (c *Controller) DaysWithPingFailures(zone geo.ZoneID, net radio.NetworkID) (observedDays, longestFailRun int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	days := c.failures[failKey{Zone: zone, Net: net}]
+	if len(days) == 0 {
+		return 0, 0
+	}
+	idxs := make([]int64, 0, len(days))
+	for d := range days {
+		idxs = append(idxs, d)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	run, best := 0, 0
+	for _, d := range idxs {
+		if days[d] > 0 {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return len(idxs), best
+}

@@ -1,0 +1,529 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+const seed = 5055
+
+var (
+	origin = geo.Madison().Center()
+	start  = radio.Epoch.Add(10 * 24 * time.Hour)
+)
+
+func mkSample(at time.Time, loc geo.Point, v float64) trace.Sample {
+	return trace.Sample{
+		Time: at, Loc: loc, Network: radio.NetB,
+		Metric: trace.MetricUDPKbps, Value: v, ClientID: "t",
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.ZoneRadiusM != 250 {
+		t.Fatal("zone radius must default to 250 m (§3.1)")
+	}
+	if cfg.MinZoneSamples != 200 {
+		t.Fatal("zones need 200 samples (§3.4)")
+	}
+	if cfg.NKLDThreshold != 0.1 {
+		t.Fatal("NKLD threshold is 0.1 (§3.3)")
+	}
+	if cfg.ChangeSigmas != 2 {
+		t.Fatal("update rule is 2 sigma (§3.4)")
+	}
+	if cfg.EpochSweepMax != 1000 {
+		t.Fatal("Allan sweep spans 1-1000 minutes (Fig. 6)")
+	}
+}
+
+func TestIngestAndEstimate(t *testing.T) {
+	c := NewController(DefaultConfig(), origin)
+	loc := origin
+	r := rng.New(1)
+	at := start
+	for i := 0; i < 150; i++ {
+		c.Ingest(mkSample(at, loc, 900+20*r.NormFloat64()))
+		at = at.Add(time.Minute)
+	}
+	rec, ok := c.EstimateAt(loc, radio.NetB, trace.MetricUDPKbps)
+	if !ok {
+		t.Fatal("no estimate after 150 samples")
+	}
+	if rec.MeanValue < 850 || rec.MeanValue > 950 {
+		t.Fatalf("estimate %v, want ~900", rec.MeanValue)
+	}
+	if rec.Samples == 0 {
+		t.Fatal("sample count missing")
+	}
+	key := Key{Zone: c.ZoneOf(loc), Net: radio.NetB, Metric: trace.MetricUDPKbps}
+	if got := c.SampleCount(key); got != 150 {
+		t.Fatalf("sample count %d, want 150", got)
+	}
+}
+
+func TestEstimateUnknownZone(t *testing.T) {
+	c := NewController(DefaultConfig(), origin)
+	if _, ok := c.EstimateAt(origin, radio.NetB, trace.MetricUDPKbps); ok {
+		t.Fatal("estimate for empty controller should not exist")
+	}
+}
+
+func TestFailedSamplesDontPollute(t *testing.T) {
+	c := NewController(DefaultConfig(), origin)
+	s := mkSample(start, origin, 0)
+	s.Metric = trace.MetricRTTMs
+	s.Failed = true
+	c.Ingest(s)
+	if _, ok := c.EstimateAt(origin, radio.NetB, trace.MetricRTTMs); ok {
+		t.Fatal("failed probes must not create estimates")
+	}
+}
+
+func TestChangeDetectionAlert(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DefaultEpoch = 10 * time.Minute
+	c := NewController(cfg, origin)
+	r := rng.New(2)
+	at := start
+	// Two quiet epochs around 900 Kbps.
+	for i := 0; i < 40; i++ {
+		c.Ingest(mkSample(at, origin, 900+10*r.NormFloat64()))
+		at = at.Add(30 * time.Second)
+	}
+	if alerts := c.Alerts(); len(alerts) != 0 {
+		t.Fatalf("no alert expected during stable operation, got %d", len(alerts))
+	}
+	// A collapse to 300 Kbps (e.g. stadium crowd).
+	for i := 0; i < 40; i++ {
+		c.Ingest(mkSample(at, origin, 300+10*r.NormFloat64()))
+		at = at.Add(30 * time.Second)
+	}
+	alerts := c.Alerts()
+	if len(alerts) == 0 {
+		t.Fatal("a 3x collapse must raise an alert")
+	}
+	a := alerts[0]
+	if a.SigmasMoved() < 2 {
+		t.Fatalf("alert moved only %.1f sigma", a.SigmasMoved())
+	}
+	if a.Current.MeanValue >= a.Previous.MeanValue {
+		t.Fatal("alert direction wrong")
+	}
+	// Record now reflects the new regime.
+	rec, _ := c.EstimateAt(origin, radio.NetB, trace.MetricUDPKbps)
+	if rec.MeanValue > 500 {
+		t.Fatalf("record %v should track the collapse", rec.MeanValue)
+	}
+	// Draining twice returns nothing.
+	if len(c.Alerts()) != 0 {
+		t.Fatal("alerts should drain")
+	}
+}
+
+func TestNoAlertOnSmallDrift(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DefaultEpoch = 10 * time.Minute
+	c := NewController(cfg, origin)
+	r := rng.New(3)
+	at := start
+	mean := 900.0
+	for e := 0; e < 20; e++ {
+		for i := 0; i < 20; i++ {
+			c.Ingest(mkSample(at, origin, mean+30*r.NormFloat64()))
+			at = at.Add(30 * time.Second)
+		}
+		mean *= 1.01 // 1% per epoch: within 2 sigma of the 30-Kbps spread
+	}
+	if alerts := c.Alerts(); len(alerts) != 0 {
+		t.Fatalf("slow drift should not alert, got %d alerts", len(alerts))
+	}
+	// But the record should have tracked the drift via smoothing.
+	rec, _ := c.EstimateAt(origin, radio.NetB, trace.MetricUDPKbps)
+	if rec.MeanValue < 950 {
+		t.Fatalf("record %v did not track slow drift to ~%v", rec.MeanValue, mean)
+	}
+}
+
+func TestEpochFromHistoryMatchesAllan(t *testing.T) {
+	cfg := DefaultConfig()
+	c := NewController(cfg, origin)
+	// Build history: white noise + strong wander (the radio field's
+	// structure) and confirm the derived epoch is neither the min nor max.
+	r := rng.New(4)
+	noise := rng.NewNoise2D(9, 10, 0.9, 2.0)
+	at := start
+	for i := 0; i < 5000; i++ {
+		drift := 1 + 0.2*noise.At(float64(i)/2880, 0.5)
+		c.Ingest(mkSample(at, origin, 900*drift*(1+0.07*r.NormFloat64())))
+		at = at.Add(time.Minute)
+	}
+	key := Key{Zone: c.ZoneOf(origin), Net: radio.NetB, Metric: trace.MetricUDPKbps}
+	ep := c.EpochOf(key)
+	if ep < 5*time.Minute || ep > 16*time.Hour {
+		t.Fatalf("epoch %v implausible", ep)
+	}
+	if ep == cfg.DefaultEpoch {
+		t.Fatal("epoch was never re-derived from history")
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HistoryLimit = 100
+	c := NewController(cfg, origin)
+	at := start
+	for i := 0; i < 1000; i++ {
+		c.Ingest(mkSample(at, origin, 900))
+		at = at.Add(time.Second)
+	}
+	key := Key{Zone: c.ZoneOf(origin), Net: radio.NetB, Metric: trace.MetricUDPKbps}
+	if h := c.History(key); len(h) > 100 {
+		t.Fatalf("history grew to %d despite limit 100", len(h))
+	}
+	if got := c.SampleCount(key); got != 1000 {
+		t.Fatalf("total count %d should survive trimming", got)
+	}
+}
+
+func TestKeysDeterministic(t *testing.T) {
+	c := NewController(DefaultConfig(), origin)
+	locs := []geo.Point{origin, origin.Offset(90, 1000), origin.Offset(180, 2000)}
+	for _, l := range locs {
+		c.Ingest(mkSample(start, l, 1))
+	}
+	a := c.Keys()
+	b := c.Keys()
+	if len(a) != 3 {
+		t.Fatalf("keys: %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("key order unstable")
+		}
+	}
+}
+
+func TestDaysWithPingFailures(t *testing.T) {
+	c := NewController(DefaultConfig(), origin)
+	mkPing := func(day int, failed bool) trace.Sample {
+		return trace.Sample{
+			Time: radio.Epoch.Add(time.Duration(day)*24*time.Hour + 12*time.Hour),
+			Loc:  origin, Network: radio.NetB, Metric: trace.MetricRTTMs,
+			Value: 120, Failed: failed,
+		}
+	}
+	// Days 0-24: failures on days 0-19 (a 20-day run), clean 20-24.
+	for d := 0; d < 25; d++ {
+		c.Ingest(mkPing(d, d < 20))
+		c.Ingest(mkPing(d, false))
+	}
+	observed, run := c.DaysWithPingFailures(c.ZoneOf(origin), radio.NetB)
+	if observed != 25 {
+		t.Fatalf("observed %d days, want 25", observed)
+	}
+	if run != 20 {
+		t.Fatalf("longest failure run %d, want 20", run)
+	}
+	// Unknown zone.
+	o, r := c.DaysWithPingFailures(geo.ZoneID{X: 999, Y: 999}, radio.NetB)
+	if o != 0 || r != 0 {
+		t.Fatal("unknown zone should have no failure stats")
+	}
+}
+
+func TestRequiredSamplesConverges(t *testing.T) {
+	cfg := DefaultConfig()
+	r := rng.New(5)
+	stable := make([]float64, 2000)
+	for i := range stable {
+		stable[i] = 900 * (1 + 0.05*r.NormFloat64())
+	}
+	n, ok := RequiredSamples(stable, cfg, seed)
+	if !ok {
+		t.Fatal("stable history should converge")
+	}
+	if n < 10 || n > 200 {
+		t.Fatalf("required samples %d outside the paper's 40-120 ballpark", n)
+	}
+	// A more variable history needs more samples (paper: NJ > WI).
+	variable := make([]float64, 2000)
+	for i := range variable {
+		variable[i] = 900 * (1 + 0.20*r.NormFloat64())
+	}
+	nVar, _ := RequiredSamples(variable, cfg, seed)
+	if nVar < n {
+		t.Fatalf("noisier history should need >= samples: stable %d vs variable %d", n, nVar)
+	}
+}
+
+func TestRequiredSamplesShortHistory(t *testing.T) {
+	cfg := DefaultConfig()
+	n, ok := RequiredSamples([]float64{1, 2, 3}, cfg, seed)
+	if ok {
+		t.Fatal("3 samples cannot converge")
+	}
+	if n != cfg.DefaultSamplesPerEpoch {
+		t.Fatalf("fallback %d, want %d", n, cfg.DefaultSamplesPerEpoch)
+	}
+}
+
+func TestNKLDCurveDecreases(t *testing.T) {
+	r := rng.New(6)
+	hist := make([]float64, 3000)
+	for i := range hist {
+		hist[i] = 900 * (1 + 0.08*r.NormFloat64())
+	}
+	curve := NKLDCurve(hist, []int{10, 40, 100, 400}, 20, 50, seed)
+	if len(curve) != 4 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	if curve[0].P <= curve[len(curve)-1].P {
+		t.Fatalf("NKLD should fall with sample count: %v", curve)
+	}
+}
+
+func TestTaskProbability(t *testing.T) {
+	// 100 samples needed, 10 clients, 50 rounds: p = 0.2.
+	if p := TaskProbability(100, 10, 50); p != 0.2 {
+		t.Fatalf("p = %v, want 0.2", p)
+	}
+	if p := TaskProbability(1000, 1, 1); p != 1 {
+		t.Fatalf("p = %v, want clamp to 1", p)
+	}
+	if p := TaskProbability(0, 10, 10); p != 0 {
+		t.Fatal("no samples needed -> p=0")
+	}
+	if p := TaskProbability(10, 0, 10); p != 0 {
+		t.Fatal("no clients -> p=0")
+	}
+}
+
+func TestRoundsPerEpoch(t *testing.T) {
+	if n := RoundsPerEpoch(75*time.Minute, 5*time.Minute); n != 15 {
+		t.Fatalf("rounds = %d", n)
+	}
+	if n := RoundsPerEpoch(time.Minute, time.Hour); n != 1 {
+		t.Fatalf("rounds should floor at 1, got %d", n)
+	}
+}
+
+func TestDominantNetwork(t *testing.T) {
+	r := rng.New(7)
+	mk := func(mean, sd float64) []float64 {
+		out := make([]float64, 300)
+		for i := range out {
+			out[i] = mean + sd*r.NormFloat64()
+		}
+		return out
+	}
+	// Clear separation: NetA >> NetB, NetC (higher is better).
+	byNet := map[radio.NetworkID][]float64{
+		radio.NetA: mk(1500, 50),
+		radio.NetB: mk(900, 50),
+		radio.NetC: mk(1000, 50),
+	}
+	if net, ok := DominantNetwork(byNet, false, 100); !ok || net != radio.NetA {
+		t.Fatalf("NetA should dominate, got %v %v", net, ok)
+	}
+	// Overlapping: no dominance.
+	overlap := map[radio.NetworkID][]float64{
+		radio.NetB: mk(1000, 200),
+		radio.NetC: mk(1050, 200),
+	}
+	if _, ok := DominantNetwork(overlap, false, 100); ok {
+		t.Fatal("heavily overlapping networks must not be called dominated")
+	}
+	// Lower is better (latency).
+	lat := map[radio.NetworkID][]float64{
+		radio.NetB: mk(110, 5),
+		radio.NetC: mk(160, 5),
+	}
+	if net, ok := DominantNetwork(lat, true, 100); !ok || net != radio.NetB {
+		t.Fatalf("NetB should dominate latency, got %v %v", net, ok)
+	}
+	// Too few samples.
+	if _, ok := DominantNetwork(byNet, false, 1000); ok {
+		t.Fatal("minSamples filter should disqualify everything")
+	}
+	// One network only.
+	single := map[radio.NetworkID][]float64{radio.NetB: mk(900, 10)}
+	if _, ok := DominantNetwork(single, false, 10); ok {
+		t.Fatal("dominance needs at least two networks")
+	}
+}
+
+func TestBestNetwork(t *testing.T) {
+	byNet := map[radio.NetworkID][]float64{
+		radio.NetA: {100, 110},
+		radio.NetB: {200, 210},
+	}
+	if net, ok := BestNetwork(byNet, false); !ok || net != radio.NetB {
+		t.Fatalf("higher-better best = %v", net)
+	}
+	if net, ok := BestNetwork(byNet, true); !ok || net != radio.NetA {
+		t.Fatalf("lower-better best = %v", net)
+	}
+	if _, ok := BestNetwork(nil, false); ok {
+		t.Fatal("empty map has no best")
+	}
+}
+
+func TestZoneRelStdDevs(t *testing.T) {
+	r := rng.New(8)
+	var samples []trace.Sample
+	at := start
+	// Two zones: one tight, one loose.
+	tight := origin
+	loose := origin.Offset(90, 5000)
+	for i := 0; i < 300; i++ {
+		samples = append(samples,
+			mkSample(at, tight, 900*(1+0.02*r.NormFloat64())),
+			mkSample(at, loose, 900*(1+0.30*r.NormFloat64())))
+		at = at.Add(time.Minute)
+	}
+	rels := ZoneRelStdDevs(samples, origin, 250, 200)
+	if len(rels) != 2 {
+		t.Fatalf("zones found: %d", len(rels))
+	}
+	lo, hi := rels[0], rels[1]
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo > 0.05 || hi < 0.2 {
+		t.Fatalf("rel devs %v/%v don't separate tight and loose zones", lo, hi)
+	}
+	// minSamples filter.
+	if got := ZoneRelStdDevs(samples, origin, 250, 500); len(got) != 0 {
+		t.Fatalf("threshold 500 should remove both zones, got %d", len(got))
+	}
+}
+
+func TestValidateErrorSmallWithEnoughSamples(t *testing.T) {
+	r := rng.New(9)
+	var samples []trace.Sample
+	at := start
+	for z := 0; z < 10; z++ {
+		loc := origin.Offset(float64(z*36), float64(1000+z*700))
+		mean := 700 + 100*float64(z)
+		for i := 0; i < 250; i++ {
+			samples = append(samples, mkSample(at, loc, mean*(1+0.06*r.NormFloat64())))
+			at = at.Add(time.Second)
+		}
+	}
+	errs := Validate(samples, origin, 250, 200, 100, seed)
+	if len(errs) < 8 {
+		t.Fatalf("only %d zones validated", len(errs))
+	}
+	cdf := ErrorCDF(errs)
+	if frac := cdf.FractionBelow(0.04); frac < 0.7 {
+		t.Fatalf("only %.0f%% of zones under 4%% error; paper achieves 70%%", frac*100)
+	}
+	for _, e := range errs {
+		if e.RelativeErr > 0.15 {
+			t.Fatalf("zone %v error %.3f exceeds the paper's 15%% max", e.Zone, e.RelativeErr)
+		}
+		if e.ClientCount != 100 {
+			t.Fatalf("client subset size %d", e.ClientCount)
+		}
+	}
+}
+
+func TestConcurrentIngest(t *testing.T) {
+	c := NewController(DefaultConfig(), origin)
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			r := rng.New(uint64(g))
+			at := start.Add(time.Duration(g) * time.Minute)
+			for i := 0; i < 500; i++ {
+				loc := origin.Offset(float64(g*45), float64(g)*600)
+				c.Ingest(mkSample(at, loc, 900+10*r.NormFloat64()))
+				at = at.Add(time.Second)
+			}
+			done <- true
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	total := int64(0)
+	for _, k := range c.Keys() {
+		total += c.SampleCount(k)
+	}
+	if total != 8*500 {
+		t.Fatalf("lost samples under concurrency: %d", total)
+	}
+}
+
+func TestAccumVsHistoryConsistency(t *testing.T) {
+	// The published record after one epoch must match the batch statistics
+	// of that epoch's samples.
+	cfg := DefaultConfig()
+	cfg.DefaultEpoch = time.Hour
+	c := NewController(cfg, origin)
+	r := rng.New(10)
+	// Align to an epoch boundary.
+	base := radio.Epoch.Add(24 * time.Hour)
+	var vals []float64
+	// Samples spaced one second: the span is too short for the Allan
+	// analysis to re-derive the epoch, so DefaultEpoch stays in force.
+	for i := 0; i < 60; i++ {
+		v := 900 + 15*r.NormFloat64()
+		vals = append(vals, v)
+		c.Ingest(mkSample(base.Add(time.Duration(i)*time.Second), origin, v))
+	}
+	// Next sample rolls the epoch.
+	c.Ingest(mkSample(base.Add(61*time.Minute), origin, 900))
+	rec, ok := c.EstimateAt(origin, radio.NetB, trace.MetricUDPKbps)
+	if !ok {
+		t.Fatal("no record after epoch rollover")
+	}
+	if d := rec.MeanValue - stats.Mean(vals); d > 1e-9 || d < -1e-9 {
+		t.Fatalf("record mean %v vs batch %v", rec.MeanValue, stats.Mean(vals))
+	}
+}
+
+func BenchmarkIngest(b *testing.B) {
+	c := NewController(DefaultConfig(), origin)
+	r := rng.New(11)
+	at := start
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Ingest(mkSample(at, origin, 900+10*r.NormFloat64()))
+		at = at.Add(time.Second)
+	}
+}
+
+func TestRequiredSamplesForCachesAndRefreshes(t *testing.T) {
+	cfg := DefaultConfig()
+	c := NewController(cfg, origin)
+	key := Key{Zone: c.ZoneOf(origin), Net: radio.NetB, Metric: trace.MetricUDPKbps}
+
+	// Empty zone: the default budget.
+	if got := c.RequiredSamplesFor(key); got != cfg.DefaultSamplesPerEpoch {
+		t.Fatalf("empty zone requirement %d", got)
+	}
+
+	r := rng.New(21)
+	at := start
+	for i := 0; i < 600; i++ {
+		c.Ingest(mkSample(at, origin, 900*(1+0.05*r.NormFloat64())))
+		at = at.Add(30 * time.Second)
+	}
+	n1 := c.RequiredSamplesFor(key)
+	if n1 <= 0 || n1 > 400 {
+		t.Fatalf("requirement %d implausible", n1)
+	}
+	// Cached: immediate re-query is identical and cheap.
+	if n2 := c.RequiredSamplesFor(key); n2 != n1 {
+		t.Fatalf("cache miss: %d vs %d", n1, n2)
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func TestIngestRejectsNaNAndInf(t *testing.T) {
+	c := NewController(DefaultConfig(), origin)
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		c.Ingest(mkSample(start, origin, v))
+	}
+	if _, ok := c.EstimateAt(origin, radio.NetB, trace.MetricUDPKbps); ok {
+		t.Fatal("NaN/Inf samples must not create estimates")
+	}
+	c.Ingest(mkSample(start, origin, 900))
+	rec, ok := c.EstimateAt(origin, radio.NetB, trace.MetricUDPKbps)
+	if !ok || rec.MeanValue != 900 {
+		t.Fatalf("clean sample after garbage: %+v %v", rec, ok)
+	}
+}
+
+func TestNormalizerAppliedOnIngest(t *testing.T) {
+	c := NewController(DefaultConfig(), origin)
+	n := device.NewNormalizer()
+	n.SetFactor(device.ClassPhone, string(trace.MetricUDPKbps), 1.0/0.72)
+	c.SetNormalizer(n)
+
+	r := rng.New(1)
+	at := start
+	for i := 0; i < 100; i++ {
+		s := mkSample(at, origin, 0.72*900*(1+0.02*r.NormFloat64())) // phone-observed values
+		s.Device = string(device.ClassPhone)
+		c.Ingest(s)
+		at = at.Add(time.Minute)
+	}
+	rec, ok := c.EstimateAt(origin, radio.NetB, trace.MetricUDPKbps)
+	if !ok {
+		t.Fatal("no estimate")
+	}
+	if rec.MeanValue < 860 || rec.MeanValue > 940 {
+		t.Fatalf("normalized estimate %v, want ~900 (reference units)", rec.MeanValue)
+	}
+}
+
+func TestNormalizerIgnoresUntaggedAndFailed(t *testing.T) {
+	c := NewController(DefaultConfig(), origin)
+	n := device.NewNormalizer()
+	n.SetFactor(device.ClassPhone, string(trace.MetricUDPKbps), 2.0)
+	c.SetNormalizer(n)
+
+	s := mkSample(start, origin, 500) // no device tag
+	c.Ingest(s)
+	rec, _ := c.EstimateAt(origin, radio.NetB, trace.MetricUDPKbps)
+	if rec.MeanValue != 500 {
+		t.Fatalf("untagged sample scaled: %v", rec.MeanValue)
+	}
+}
+
+func TestMixedFleetConvergesWithNormalization(t *testing.T) {
+	// Half the fleet are phones. Without normalization the zone estimate is
+	// biased low; with it, the estimate lands at the reference truth.
+	run := func(normalize bool) float64 {
+		c := NewController(DefaultConfig(), origin)
+		if normalize {
+			n := device.NewNormalizer()
+			n.SetFactor(device.ClassPhone, string(trace.MetricUDPKbps), 1.0/0.72)
+			c.SetNormalizer(n)
+		}
+		r := rng.New(2)
+		at := start
+		for i := 0; i < 400; i++ {
+			truth := 900 * (1 + 0.03*r.NormFloat64())
+			s := mkSample(at, origin, truth)
+			if i%2 == 0 {
+				s.Value = truth * 0.72
+				s.Device = string(device.ClassPhone)
+			}
+			c.Ingest(s)
+			at = at.Add(30 * time.Second)
+		}
+		rec, _ := c.EstimateAt(origin, radio.NetB, trace.MetricUDPKbps)
+		return rec.MeanValue
+	}
+	raw := run(false)
+	norm := run(true)
+	if raw > 880 {
+		t.Fatalf("unnormalized mixed fleet should be biased low, got %v", raw)
+	}
+	if norm < 870 || norm > 930 {
+		t.Fatalf("normalized mixed fleet should recover ~900, got %v", norm)
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/trace"
+)
+
+// Federation scales WiScape beyond one metro area — the §6 goal of
+// "extending the study to multiple cities, state, or across the whole
+// country". Each region keeps its own controller (its own zone grid
+// origin, epochs and records); the federation routes samples and queries by
+// location and aggregates the operator-facing streams.
+type Federation struct {
+	regions []federatedRegion
+}
+
+type federatedRegion struct {
+	name string
+	box  geo.BoundingBox
+	ctrl *Controller
+}
+
+// NewFederation returns an empty federation.
+func NewFederation() *Federation {
+	return &Federation{}
+}
+
+// AddRegion attaches a controller responsible for box. Regions are matched
+// in insertion order, so register more specific regions first. It returns
+// an error if name is empty or already registered.
+func (f *Federation) AddRegion(name string, box geo.BoundingBox, ctrl *Controller) error {
+	if name == "" {
+		return fmt.Errorf("core: federation region needs a name")
+	}
+	for _, r := range f.regions {
+		if r.name == name {
+			return fmt.Errorf("core: federation region %q already registered", name)
+		}
+	}
+	f.regions = append(f.regions, federatedRegion{name: name, box: box, ctrl: ctrl})
+	return nil
+}
+
+// Regions lists the registered region names in insertion order.
+func (f *Federation) Regions() []string {
+	out := make([]string, len(f.regions))
+	for i, r := range f.regions {
+		out[i] = r.name
+	}
+	return out
+}
+
+// RegionFor returns the region responsible for p, or ok=false if no region
+// covers it.
+func (f *Federation) RegionFor(p geo.Point) (name string, ctrl *Controller, ok bool) {
+	for _, r := range f.regions {
+		if r.box.Contains(p) {
+			return r.name, r.ctrl, true
+		}
+	}
+	return "", nil, false
+}
+
+// Ingest routes a sample to its region's controller. Samples outside every
+// region are dropped and reported via the returned flag (callers may count
+// them; a nation-wide deployment would spin up new regions from such
+// stragglers).
+func (f *Federation) Ingest(s trace.Sample) (routed bool) {
+	_, ctrl, ok := f.RegionFor(s.Loc)
+	if !ok {
+		return false
+	}
+	ctrl.Ingest(s)
+	return true
+}
+
+// EstimateAt answers a location-keyed query from the owning region.
+func (f *Federation) EstimateAt(p geo.Point, net radio.NetworkID, m trace.Metric) (Record, bool) {
+	_, ctrl, ok := f.RegionFor(p)
+	if !ok {
+		return Record{}, false
+	}
+	return ctrl.EstimateAt(p, net, m)
+}
+
+// RegionAlert tags an alert with its region of origin.
+type RegionAlert struct {
+	Region string
+	Alert
+}
+
+// Alerts drains every region's alert queue, ordered by time.
+func (f *Federation) Alerts() []RegionAlert {
+	var out []RegionAlert
+	for _, r := range f.regions {
+		for _, a := range r.ctrl.Alerts() {
+			out = append(out, RegionAlert{Region: r.name, Alert: a})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out
+}
+
+// Snapshot captures every region's state for persistence.
+func (f *Federation) Snapshot(at time.Time) map[string]Snapshot {
+	out := make(map[string]Snapshot, len(f.regions))
+	for _, r := range f.regions {
+		out[r.name] = r.ctrl.Snapshot(at)
+	}
+	return out
+}
+
+// NewMadisonNJFederation wires up the paper's two study areas: the Madison
+// city box and the New Brunswick/Princeton area, each with the default
+// configuration.
+func NewMadisonNJFederation(cfg Config) *Federation {
+	f := NewFederation()
+	// Errors impossible: fresh federation, distinct non-empty names.
+	_ = f.AddRegion("madison", geo.Madison(), NewController(cfg, geo.Madison().Center()))
+	njBox := geo.BoundingBox{MinLat: 40.30, MaxLat: 40.55, MinLon: -74.75, MaxLon: -74.35}
+	_ = f.AddRegion("new-jersey", njBox, NewController(cfg, geo.NJStaticSites()[0]))
+	return f
+}

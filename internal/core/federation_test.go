@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func njSample(at time.Time, v float64) trace.Sample {
+	return trace.Sample{
+		Time: at, Loc: geo.NJStaticSites()[0], Network: radio.NetB,
+		Metric: trace.MetricUDPKbps, Value: v, ClientID: "nj",
+	}
+}
+
+func TestFederationRouting(t *testing.T) {
+	f := NewMadisonNJFederation(DefaultConfig())
+	if got := f.Regions(); len(got) != 2 || got[0] != "madison" || got[1] != "new-jersey" {
+		t.Fatalf("regions: %v", got)
+	}
+
+	r := rng.New(1)
+	at := start
+	for i := 0; i < 60; i++ {
+		if !f.Ingest(mkSample(at, origin, 900+10*r.NormFloat64())) {
+			t.Fatal("Madison sample not routed")
+		}
+		if !f.Ingest(njSample(at, 1500+10*r.NormFloat64())) {
+			t.Fatal("NJ sample not routed")
+		}
+		at = at.Add(time.Minute)
+	}
+
+	// Queries route by location and see only their region's data.
+	mad, ok := f.EstimateAt(origin, radio.NetB, trace.MetricUDPKbps)
+	if !ok || mad.MeanValue < 850 || mad.MeanValue > 950 {
+		t.Fatalf("Madison estimate %+v %v", mad, ok)
+	}
+	nj, ok := f.EstimateAt(geo.NJStaticSites()[0], radio.NetB, trace.MetricUDPKbps)
+	if !ok || nj.MeanValue < 1450 || nj.MeanValue > 1550 {
+		t.Fatalf("NJ estimate %+v %v", nj, ok)
+	}
+}
+
+func TestFederationDropsStragglers(t *testing.T) {
+	f := NewMadisonNJFederation(DefaultConfig())
+	s := mkSample(start, geo.Point{Lat: 48.85, Lon: 2.35}, 100) // Paris
+	if f.Ingest(s) {
+		t.Fatal("sample outside every region must not route")
+	}
+	if _, ok := f.EstimateAt(geo.Point{Lat: 48.85, Lon: 2.35}, radio.NetB, trace.MetricUDPKbps); ok {
+		t.Fatal("query outside every region must miss")
+	}
+}
+
+func TestFederationAlertsTaggedAndOrdered(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DefaultEpoch = 10 * time.Minute
+	f := NewMadisonNJFederation(cfg)
+	r := rng.New(2)
+	// Stable then collapsing in both regions, NJ collapsing later.
+	at := start
+	for i := 0; i < 40; i++ {
+		f.Ingest(mkSample(at, origin, 900+10*r.NormFloat64()))
+		f.Ingest(njSample(at, 1500+10*r.NormFloat64()))
+		at = at.Add(30 * time.Second)
+	}
+	for i := 0; i < 40; i++ {
+		f.Ingest(mkSample(at, origin, 300+10*r.NormFloat64()))
+		at = at.Add(30 * time.Second)
+	}
+	for i := 0; i < 40; i++ {
+		f.Ingest(njSample(at, 500+10*r.NormFloat64()))
+		at = at.Add(30 * time.Second)
+	}
+	alerts := f.Alerts()
+	if len(alerts) < 2 {
+		t.Fatalf("want alerts from both regions, got %d", len(alerts))
+	}
+	regions := map[string]bool{}
+	for i, a := range alerts {
+		regions[a.Region] = true
+		if i > 0 && a.At.Before(alerts[i-1].At) {
+			t.Fatal("alerts not time ordered")
+		}
+	}
+	if !regions["madison"] || !regions["new-jersey"] {
+		t.Fatalf("regions missing from alerts: %v", regions)
+	}
+	// Drained.
+	if len(f.Alerts()) != 0 {
+		t.Fatal("alerts should drain")
+	}
+}
+
+func TestFederationSnapshotPerRegion(t *testing.T) {
+	f := NewMadisonNJFederation(DefaultConfig())
+	f.Ingest(mkSample(start, origin, 900))
+	snaps := f.Snapshot(start.Add(time.Hour))
+	if len(snaps) != 2 {
+		t.Fatalf("snapshots: %d", len(snaps))
+	}
+	if len(snaps["madison"].Entries) != 1 {
+		t.Fatalf("madison entries: %d", len(snaps["madison"].Entries))
+	}
+	if len(snaps["new-jersey"].Entries) != 0 {
+		t.Fatal("NJ should be empty")
+	}
+}
+
+func TestFederationAddRegionValidation(t *testing.T) {
+	f := NewFederation()
+	if err := f.AddRegion("", geo.Madison(), NewController(DefaultConfig(), origin)); err == nil {
+		t.Fatal("empty name must be rejected")
+	}
+	if err := f.AddRegion("a", geo.Madison(), NewController(DefaultConfig(), origin)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddRegion("a", geo.Madison(), NewController(DefaultConfig(), origin)); err == nil {
+		t.Fatal("duplicate name must be rejected")
+	}
+}
+
+func TestFederationRegionOrderMatters(t *testing.T) {
+	// Overlapping regions: first registered wins.
+	f := NewFederation()
+	inner := geo.BoundingBox{MinLat: 43.06, MaxLat: 43.09, MinLon: -89.42, MaxLon: -89.38}
+	cInner := NewController(DefaultConfig(), inner.Center())
+	cOuter := NewController(DefaultConfig(), geo.Madison().Center())
+	if err := f.AddRegion("campus", inner, cInner); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddRegion("city", geo.Madison(), cOuter); err != nil {
+		t.Fatal(err)
+	}
+	name, ctrl, ok := f.RegionFor(geo.Point{Lat: 43.07, Lon: -89.4})
+	if !ok || name != "campus" || ctrl != cInner {
+		t.Fatalf("inner region should win: %s", name)
+	}
+	name, _, ok = f.RegionFor(geo.Point{Lat: 43.02, Lon: -89.47})
+	if !ok || name != "city" {
+		t.Fatalf("outer region should catch the rest: %s", name)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// RequiredSamples determines how many measurement samples a zone needs per
+// epoch using the paper's NKLD method (§3.3, Fig. 7): the smallest n for
+// which the distribution of n randomly chosen samples matches the long-term
+// distribution (mean NKLD over iterations <= threshold). It returns
+// (n, true) on convergence, or (fallback, false) when the history is too
+// small or never converges within it.
+func RequiredSamples(history []float64, cfg Config, seed uint64) (int, bool) {
+	const iterations = 100 // the paper's repetition count
+	if len(history) < 40 {
+		return cfg.DefaultSamplesPerEpoch, false
+	}
+	bins := cfg.NKLDBins
+	if bins <= 0 {
+		bins = stats.DefaultNKLDBins
+	}
+	r := rng.NewNamed(seed, "required-samples")
+	// Sweep n in steps of 10 like Fig. 7's x axis.
+	maxN := len(history) / 2
+	if maxN > 200 {
+		maxN = 200
+	}
+	for n := 10; n <= maxN; n += 10 {
+		mean := meanNKLDSubsample(history, n, bins, iterations, r)
+		if mean <= cfg.NKLDThreshold {
+			return n, true
+		}
+	}
+	return cfg.DefaultSamplesPerEpoch, false
+}
+
+// NKLDCurve returns the mean NKLD at each sample count in ns — the series
+// plotted in Fig. 7.
+func NKLDCurve(history []float64, ns []int, bins, iterations int, seed uint64) []stats.CDFPoint {
+	r := rng.NewNamed(seed, "nkld-curve")
+	out := make([]stats.CDFPoint, 0, len(ns))
+	for _, n := range ns {
+		if n <= 0 || n > len(history) {
+			continue
+		}
+		out = append(out, stats.CDFPoint{
+			X: float64(n),
+			P: meanNKLDSubsample(history, n, bins, iterations, r),
+		})
+	}
+	return out
+}
+
+// meanNKLDSubsample draws `iterations` random n-subsets of history and
+// returns the mean NKLD between each subset and the full distribution.
+func meanNKLDSubsample(history []float64, n, bins, iterations int, r *rng.Rand) float64 {
+	if n > len(history) {
+		n = len(history)
+	}
+	sub := make([]float64, n)
+	sum := 0.0
+	count := 0
+	for it := 0; it < iterations; it++ {
+		for i := 0; i < n; i++ {
+			sub[i] = history[r.Intn(len(history))]
+		}
+		d := stats.NKLDFromSamples(sub, history, bins)
+		if d != d || d > 1e6 { // NaN/Inf guard
+			continue
+		}
+		sum += d
+		count++
+	}
+	if count == 0 {
+		return 1e6
+	}
+	return sum / float64(count)
+}
+
+// TaskProbability returns the probability with which each active client in
+// a zone should be tasked per scheduling round, so that the expected number
+// of samples collected over the epoch meets the zone's requirement (§3.4).
+// roundsPerEpoch is the number of scheduling rounds the epoch spans.
+func TaskProbability(requiredSamples, activeClients, roundsPerEpoch int) float64 {
+	if requiredSamples <= 0 || activeClients <= 0 || roundsPerEpoch <= 0 {
+		return 0
+	}
+	p := float64(requiredSamples) / float64(activeClients*roundsPerEpoch)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// RoundsPerEpoch converts an epoch length and scheduling interval into the
+// number of task rounds.
+func RoundsPerEpoch(epoch, interval time.Duration) int {
+	if interval <= 0 || epoch <= 0 {
+		return 1
+	}
+	n := int(epoch / interval)
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// Snapshot is a serializable view of a controller's published state: the
+// zone records applications query and each zone's current epoch. Histories
+// and in-progress epoch accumulators are deliberately excluded — they are
+// rebuilt from fresh samples after a restart, while the published records
+// keep serving queries immediately (a coordinator restart must not blind
+// every application).
+type Snapshot struct {
+	TakenAt time.Time       `json:"taken_at"`
+	Config  Config          `json:"config"`
+	Origin  geo.Point       `json:"origin"`
+	Entries []SnapshotEntry `json:"entries"`
+}
+
+// SnapshotEntry is one zone statistic's persisted state.
+type SnapshotEntry struct {
+	Key          Key     `json:"key"`
+	Record       *Record `json:"record,omitempty"`
+	EpochSeconds float64 `json:"epoch_seconds"`
+	TotalCount   int64   `json:"total_count"`
+}
+
+// Snapshot captures the controller's publishable state at an instant.
+func (c *Controller) Snapshot(at time.Time) Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		TakenAt: at,
+		Config:  c.cfg,
+		Origin:  c.grid.Origin(),
+	}
+	// Keys() locks too; inline the iteration under the held lock.
+	for k, st := range c.zones {
+		e := SnapshotEntry{Key: k, EpochSeconds: st.epoch.Seconds(), TotalCount: st.totalCount}
+		if st.hasRecord {
+			rec := st.published
+			e.Record = &rec
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	sortEntries(s.Entries)
+	return s
+}
+
+func sortEntries(es []SnapshotEntry) {
+	lessKey := func(a, b Key) bool {
+		if a.Zone != b.Zone {
+			if a.Zone.X != b.Zone.X {
+				return a.Zone.X < b.Zone.X
+			}
+			return a.Zone.Y < b.Zone.Y
+		}
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		return a.Metric < b.Metric
+	}
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && lessKey(es[j].Key, es[j-1].Key); j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+// Restore rebuilds a controller from a snapshot: published records and
+// epochs are restored so estimate queries work immediately; sample
+// histories start empty and refill from live traffic.
+func Restore(s Snapshot) *Controller {
+	c := NewController(s.Config, s.Origin)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range s.Entries {
+		st := &zoneState{
+			epoch:       time.Duration(e.EpochSeconds * float64(time.Second)),
+			epochValid:  true,
+			curEpochIdx: -1,
+			totalCount:  e.TotalCount,
+		}
+		if st.epoch <= 0 {
+			st.epoch = s.Config.DefaultEpoch
+		}
+		if e.Record != nil {
+			st.published = *e.Record
+			st.hasRecord = true
+		}
+		c.zones[e.Key] = st
+	}
+	return c
+}
+
+// WriteSnapshot serializes a snapshot as indented JSON.
+func WriteSnapshot(w io.Writer, s Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("core: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot parses a snapshot written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return s, fmt.Errorf("core: decoding snapshot: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+
+	"repro/internal/geo"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func populatedController(t *testing.T) *Controller {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.DefaultEpoch = 10 * time.Minute
+	c := NewController(cfg, origin)
+	r := rng.New(4)
+	at := start
+	for _, loc := range []struct {
+		bearing, dist float64
+	}{{0, 0}, {90, 1500}, {180, 3000}} {
+		p := origin.Offset(loc.bearing, loc.dist)
+		for i := 0; i < 80; i++ {
+			c.Ingest(mkSample(at, p, 900+20*r.NormFloat64()))
+			at = at.Add(time.Minute)
+		}
+	}
+	return c
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := populatedController(t)
+	snap := c.Snapshot(start.Add(5 * time.Hour))
+	if len(snap.Entries) != 3 {
+		t.Fatalf("entries: %d", len(snap.Entries))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != len(snap.Entries) {
+		t.Fatal("entries lost in serialization")
+	}
+
+	restored := Restore(got)
+	for _, e := range snap.Entries {
+		if e.Record == nil {
+			continue
+		}
+		rec, ok := restored.Estimate(e.Key)
+		if !ok {
+			t.Fatalf("restored controller lost record for %v", e.Key)
+		}
+		if rec.MeanValue != e.Record.MeanValue || rec.Samples != e.Record.Samples {
+			t.Fatalf("record drifted: %+v vs %+v", rec, *e.Record)
+		}
+		if restored.EpochOf(e.Key).Seconds() != e.EpochSeconds {
+			t.Fatal("epoch lost")
+		}
+		if restored.SampleCount(e.Key) != e.TotalCount {
+			t.Fatal("total count lost")
+		}
+	}
+}
+
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	c := populatedController(t)
+	a := c.Snapshot(start)
+	b := c.Snapshot(start)
+	for i := range a.Entries {
+		if a.Entries[i].Key != b.Entries[i].Key {
+			t.Fatal("snapshot order unstable")
+		}
+	}
+}
+
+func TestRestoredControllerKeepsServingAndLearning(t *testing.T) {
+	c := populatedController(t)
+	snap := c.Snapshot(start.Add(5 * time.Hour))
+	restored := Restore(snap)
+
+	// Serving: estimates available immediately.
+	key := snap.Entries[0].Key
+	if _, ok := restored.Estimate(key); !ok {
+		t.Fatal("restored controller should serve immediately")
+	}
+	// Learning: new samples keep flowing into the same zones.
+	r := rng.New(5)
+	at := start.Add(6 * time.Hour)
+	for i := 0; i < 50; i++ {
+		restored.Ingest(mkSample(at, origin, 900+20*r.NormFloat64()))
+		at = at.Add(time.Minute)
+	}
+	originKey := Key{Zone: restored.ZoneOf(origin), Net: radio.NetB, Metric: trace.MetricUDPKbps}
+	var before int64
+	for _, e := range snap.Entries {
+		if e.Key == originKey {
+			before = e.TotalCount
+		}
+	}
+	if restored.SampleCount(originKey) != before+50 {
+		t.Fatalf("restored controller did not keep counting: %d vs %d+50",
+			restored.SampleCount(originKey), before)
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestRestoreDefaultsBadEpoch(t *testing.T) {
+	snap := Snapshot{
+		Config: DefaultConfig(),
+		Origin: origin,
+		Entries: []SnapshotEntry{{
+			Key:          Key{Zone: origin2Zone(), Net: radio.NetB, Metric: trace.MetricUDPKbps},
+			EpochSeconds: 0, // corrupted
+		}},
+	}
+	c := Restore(snap)
+	if ep := c.EpochOf(snap.Entries[0].Key); ep != snap.Config.DefaultEpoch {
+		t.Fatalf("bad epoch should fall back to default, got %v", ep)
+	}
+}
+
+func origin2Zone() geo.ZoneID {
+	c := NewController(DefaultConfig(), origin)
+	return c.ZoneOf(origin)
+}

@@ -1,0 +1,145 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment function builds its workload (a simulated
+// measurement campaign over the radio ground truth), runs the WiScape
+// analysis pipeline, and returns a printable result carrying both the
+// paper's claim and the measured value, so reports read as
+// paper-vs-measured comparisons.
+//
+// Absolute numbers depend on the synthetic substrate; what must hold is the
+// shape: who wins, by what rough factor, and where thresholds/crossovers
+// fall. See EXPERIMENTS.md at the repository root for the recorded values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/radio"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed drives all simulation randomness; a fixed seed reproduces a run
+	// exactly.
+	Seed uint64
+
+	// Scale multiplies campaign durations. 1.0 is the bench default
+	// (minutes of wall clock for the full suite); tests use ~0.2 for
+	// speed. Larger values sharpen statistics at proportional cost.
+	Scale float64
+}
+
+// DefaultOptions returns the bench configuration.
+func DefaultOptions() Options {
+	return Options{Seed: 20111102, Scale: 1.0} // IMC'11 dates, naturally
+}
+
+func (o Options) fill() Options {
+	if o.Seed == 0 {
+		o.Seed = DefaultOptions().Seed
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+// scaleDur multiplies a duration by the scale factor, flooring at min.
+func (o Options) scaleDur(d, min time.Duration) time.Duration {
+	s := time.Duration(float64(d) * o.Scale)
+	if s < min {
+		return min
+	}
+	return s
+}
+
+// campaignStart is a Monday 00:00 UTC two weeks into the simulated study,
+// so diurnal and service-window phases line up predictably.
+var campaignStart = radio.Epoch.Add(14 * 24 * time.Hour)
+
+// Row is one labelled comparison row of a result table.
+type Row struct {
+	Label    string
+	Paper    string // the paper's reported value (verbatim shape claim)
+	Measured string // what this run measured
+}
+
+// Report is the uniform result carrier: a title, comparison rows and
+// optional free-form series lines.
+type Report struct {
+	ID     string // e.g. "fig04"
+	Title  string
+	Rows   []Row
+	Series []string // rendered data series (CDF points etc.)
+}
+
+// String renders the report as aligned text.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	labelW, paperW := 0, 0
+	for _, row := range r.Rows {
+		if len(row.Label) > labelW {
+			labelW = len(row.Label)
+		}
+		if len(row.Paper) > paperW {
+			paperW = len(row.Paper)
+		}
+	}
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-*s  paper: %-*s  measured: %s\n", labelW, row.Label, paperW, row.Paper, row.Measured)
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "  | %s\n", s)
+	}
+	return b.String()
+}
+
+// AddRow appends a comparison row.
+func (r *Report) AddRow(label, paper, measured string) {
+	r.Rows = append(r.Rows, Row{Label: label, Paper: paper, Measured: measured})
+}
+
+// AddSeries appends a rendered series line.
+func (r *Report) AddSeries(format string, args ...any) {
+	r.Series = append(r.Series, fmt.Sprintf(format, args...))
+}
+
+// All runs every experiment in paper order and returns the reports. This is
+// what cmd/wiscape-report prints.
+func All(opts Options) []Report {
+	return []Report{
+		Fig01CityMap(opts),
+		Fig02SpeedLatency(opts),
+		Fig04ZoneRadius(opts),
+		Fig05SpotCDFs(opts),
+		Fig06AllanDeviation(opts),
+		Fig07NKLD(opts),
+		Fig08ValidationError(opts),
+		Fig09PingFailures(opts),
+		Fig10Stadium(opts),
+		Fig11Dominance(opts),
+		Fig12RoadDominance(opts),
+		Fig13RoadThroughput(opts),
+		Fig14Applications(opts),
+		Table3StaticProximate(opts),
+		Table4Timescales(opts),
+		Table5PacketCounts(opts),
+		Table6HTTPLatency(opts),
+		BandwidthTools(opts),
+	}
+}
+
+// Extensions runs the beyond-the-paper experiments: the §3.3/§6 future-work
+// items and the ablations of DESIGN.md's called-out design choices.
+func Extensions(opts Options) []Report {
+	return []Report{
+		Ext01DeviceHeterogeneity(opts),
+		Ext02ClientOverhead(opts),
+		AblationZoneRadius(opts),
+		AblationSampleBudget(opts),
+		AblationEpochPolicy(opts),
+		AblationChangeSigmas(opts),
+	}
+}

@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/apps/mar"
+	"repro/internal/apps/multisim"
+	"repro/internal/bandwidth"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/webload"
+)
+
+// Table3StaticProximate regenerates Table 3: mean (std) of each metric from
+// the Static ground truth vs the client-sourced Proximate collection, per
+// network and region — the closeness that makes client sourcing viable.
+func Table3StaticProximate(o Options) Report {
+	o = o.fill()
+	r := Report{ID: "table3", Title: "Static vs Proximate closeness: mean (std) per network"}
+
+	for _, kind := range []radio.RegionKind{radio.RegionWI, radio.RegionNJ} {
+		static := spotDataset(o, kind)
+		proximate := proximateDataset(o, kind)
+		label := regionLabel(kind)
+		var worstGap float64
+		for _, net := range regionNets(kind) {
+			sVals := trace.Values(static.ByMetric(net, trace.MetricUDPKbps))
+			// Compare site 0's zone only: the static node and the orbiting
+			// car must share a zone for the closeness claim to make sense.
+			pAll := proximate.ByMetric(net, trace.MetricUDPKbps)
+			var pVals []float64
+			for _, s := range pAll {
+				if len(pAll) > 0 && s.ClientID == pAll[0].ClientID {
+					pVals = append(pVals, s.Value)
+				}
+			}
+			if len(sVals) == 0 || len(pVals) == 0 {
+				continue
+			}
+			sm, pm := stats.Mean(sVals), stats.Mean(pVals)
+			gap := math.Abs(sm-pm) / sm
+			if gap > worstGap {
+				worstGap = gap
+			}
+			r.AddSeries("%s %s UDP: static %5.0f (%4.0f)  proximate %5.0f (%4.0f)  gap %4.1f%%",
+				label, net, sm, stats.StdDev(sVals), pm, stats.StdDev(pVals), gap*100)
+
+			sj := trace.Values(static.ByMetric(net, trace.MetricJitterMs))
+			pjAll := proximate.ByMetric(net, trace.MetricJitterMs)
+			var pj []float64
+			for _, s := range pjAll {
+				if s.ClientID == pjAll[0].ClientID {
+					pj = append(pj, s.Value)
+				}
+			}
+			if len(sj) > 0 && len(pj) > 0 {
+				r.AddSeries("%s %s jitter: static %4.1f ms  proximate %4.1f ms", label, net,
+					stats.Mean(sj), stats.Mean(pj))
+			}
+		}
+		r.AddRow(label+" static-vs-proximate gap", "within ~1-6% (e.g. NetB-WI 876 vs 855 Kbps, <1%)",
+			fmt.Sprintf("worst UDP mean gap %.1f%%", worstGap*100))
+	}
+	r.AddRow("conclusion", "client-sourced samples approximate ground truth at the same zone", "gaps above")
+	return r
+}
+
+// Table4Timescales regenerates Table 4: the standard deviation of 30-minute
+// vs 10-second binned data — fine timescales are far noisier, ruling out
+// tiny infrequent measurements.
+func Table4Timescales(o Options) Report {
+	o = o.fill()
+	r := Report{ID: "table4", Title: "Std dev at 30-minute vs 10-second bins (Spot)"}
+
+	for _, kind := range []radio.RegionKind{radio.RegionWI, radio.RegionNJ} {
+		label := regionLabel(kind)
+		key := fmt.Sprintf("spot-fine/%d/%d/%g", kind, o.Seed, o.Scale)
+		ds := cached(key, func() *trace.Dataset {
+			c := trace.SpotCampaign(kind, o.Seed, campaignStart, o.scaleDur(18*time.Hour, 6*time.Hour), 10*time.Second)
+			c.Clients = c.Clients[:1]
+			c.TCPBytes = 64 << 10
+			c.UDPPackets = 50
+			return c.Run()
+		})
+		var ratios []float64
+		for _, net := range regionNets(kind) {
+			for _, metric := range []trace.Metric{trace.MetricTCPKbps, trace.MetricUDPKbps, trace.MetricJitterMs} {
+				timed := trace.Timed(ds.ByMetric(net, metric))
+				long := stats.BinMeans(timed, 30*time.Minute)
+				short := stats.BinMeans(timed, 10*time.Second)
+				ls, ss := stats.StdDev(long), stats.StdDev(short)
+				if ls > 0 && metric != trace.MetricJitterMs {
+					ratios = append(ratios, ss/ls)
+				}
+				r.AddSeries("%s %s %-9s: sigma(30min)=%7.1f  sigma(10s)=%7.1f  ratio %.1fx",
+					label, net, metric, ls, ss, ss/math.Max(ls, 1e-9))
+			}
+		}
+		r.AddRow(label+" short vs long sigma", "short-term sigma ~3x the long-term sigma (e.g. 377 vs 211, 408 vs 126)",
+			fmt.Sprintf("mean throughput ratio %.1fx", stats.Mean(ratios)))
+	}
+	r.AddRow("conclusion", "high short-timescale variation rules out tiny infrequent probes", "ratios above")
+	return r
+}
+
+// Table5PacketCounts regenerates Table 5: the number of back-to-back
+// measurement packets needed to estimate throughput within 97% of the
+// expected value, per network and region.
+func Table5PacketCounts(o Options) Report {
+	o = o.fill()
+	r := Report{ID: "table5", Title: "Packets needed for a 97%-accurate throughput estimate"}
+
+	paper := map[string]string{
+		"WI/NetA": "UDP 90 / TCP 60",
+		"WI/NetB": "UDP 60 / TCP 40",
+		"WI/NetC": "UDP 40 / TCP 40",
+		"NJ/NetB": "UDP 120 / TCP 120",
+		"NJ/NetC": "UDP 70 / TCP 50",
+	}
+	for _, kind := range []radio.RegionKind{radio.RegionWI, radio.RegionNJ} {
+		label := regionLabel(kind)
+		origin := geo.Madison().Center()
+		site := geo.MadisonStaticSites()[0]
+		if kind == radio.RegionNJ {
+			origin = geo.NJStaticSites()[0]
+			site = geo.NJStaticSites()[0]
+		}
+		for _, net := range regionNets(kind) {
+			field := radio.NewPresetField(net, kind, o.Seed, origin)
+			p := simnet.NewProber(field, o.Seed)
+			at := campaignStart.Add(36 * time.Hour)
+			udpN := packetsFor97(p, site, at, false)
+			tcpN := packetsFor97(p, site, at, true)
+			r.AddRow(fmt.Sprintf("%s %s", label, net), paper[label+"/"+string(net)],
+				fmt.Sprintf("UDP %d / TCP %d", udpN, tcpN))
+		}
+	}
+	r.AddRow("shape", "NetA needs more than NetB/NetC; NJ needs more than WI", "see rows")
+	return r
+}
+
+// packetsFor97 finds the smallest packet count whose goodput estimate lands
+// within 3% of the expected value, following the paper's procedure
+// (§3.3.1): the ground truth is what a long concurrent transfer achieves at
+// the same instant (the paper measured estimate and truth simultaneously,
+// so both share the channel's slow state); 100 repetitions per count, mean
+// absolute error <= 3%.
+func packetsFor97(p *simnet.Prober, loc geo.Point, at time.Time, tcp bool) int {
+	const reps = 100
+	const fullLen = 800
+	// Precompute full flows; the n-packet estimate is the prefix goodput of
+	// the same flow, so only packet-scale noise separates it from truth.
+	type flow struct {
+		truth    float64
+		prefixes map[int]float64
+	}
+	counts := []int{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 120, 150, 200, 250, 300, 400}
+	flows := make([]flow, 0, reps)
+	for i := 0; i < reps; i++ {
+		var fr simnet.FlowResult
+		if tcp {
+			fr = p.TCPDownload(loc, at, fullLen*1460)
+		} else {
+			fr = p.UDPDownload(loc, at, fullLen, 1200)
+		}
+		// TCP windows start past slow start (the client measures the steady
+		// portion); UDP bursts are steady from the first packet.
+		skip := 0
+		if tcp {
+			skip = 100
+		}
+		steady := fr.Packets[skip:]
+		fl := flow{prefixes: make(map[int]float64, len(counts))}
+		for _, n := range counts {
+			if n >= len(steady) {
+				continue
+			}
+			// Estimate from the first n packets; the concurrent ground truth
+			// is the remainder of the same transfer (disjoint windows of the
+			// same channel state, as in the paper's concurrent measurement).
+			fl.prefixes[n] = robustGoodputKbps(steady[:n])
+		}
+		fl.truth = robustGoodputKbps(steady[len(steady)/2:])
+		flows = append(flows, fl)
+	}
+	for _, n := range counts {
+		var errSum float64
+		m := 0
+		for _, fl := range flows {
+			est, ok := fl.prefixes[n]
+			if !ok || fl.truth == 0 {
+				continue
+			}
+			errSum += math.Abs(est-fl.truth) / fl.truth
+			m++
+		}
+		if m > 0 && errSum/float64(m) <= 0.03 {
+			return n
+		}
+	}
+	return 400
+}
+
+// robustGoodputKbps computes goodput from packet records with
+// retransmission stalls filtered out: inter-arrival gaps are capped at 3x
+// the median gap (measurement tools discount recovery stalls the same way).
+func robustGoodputKbps(packets []simnet.PacketRecord) float64 {
+	var gaps []float64
+	bits := 0
+	var prev time.Time
+	havePrev := false
+	for _, pk := range packets {
+		if pk.Lost {
+			continue
+		}
+		if havePrev {
+			gaps = append(gaps, pk.Recv.Sub(prev).Seconds())
+			bits += pk.SizeBytes * 8
+		}
+		prev = pk.Recv
+		havePrev = true
+	}
+	if len(gaps) == 0 {
+		return 0
+	}
+	med := stats.Median(gaps)
+	total := 0.0
+	for _, g := range gaps {
+		if g > 3*med {
+			g = 3 * med
+		}
+		total += g
+	}
+	if total <= 0 {
+		return 0
+	}
+	return float64(bits) / 1000 / total
+}
+
+// Table6HTTPLatency regenerates Table 6: total latency for downloading the
+// 1000-page SURGE pool — multi-sim with WiScape vs fixed carriers, and MAR
+// with WiScape vs round robin.
+func Table6HTTPLatency(o Options) Report {
+	o = o.fill()
+	r := Report{ID: "table6", Title: "HTTP latency over the SURGE pool (road stretch)"}
+
+	ctrl, env := trainedController(o)
+	nPages := int(200 * o.Scale)
+	if nPages < 60 {
+		nPages = 60
+	}
+	if nPages > 1000 {
+		nPages = 1000
+	}
+	pool := webload.NewSURGEPool(nPages, o.Seed)
+	pages := pool.Pages()
+	track := mobility.NewCarLoop(geo.ShortSegment(), o.Seed, 31)
+	// Requests are spaced so the experiment spans the whole road stretch
+	// (the paper drove the segment repeatedly during the download runs).
+	routeTime := geo.ShortSegment().Length() / (55.0 / 3.6) // seconds for one pass
+	requestGap := time.Duration(2 * routeTime / float64(nPages) * float64(time.Second))
+
+	ps := mar.NewProbers(env, radio.AllNetworks, o.Seed+5)
+	results := map[string]time.Duration{}
+	for _, n := range radio.AllNetworks {
+		res := multisim.RunDownloads(multisim.Fixed{Net: n}, ps, track, campaignStart, pages, requestGap)
+		results["Multisim-"+string(n)] = res.Total
+	}
+	ws := multisim.RunDownloads(&multisim.WiScape{
+		Ctrl: ctrl, Metric: trace.MetricTCPKbps, Networks: radio.AllNetworks, Fallback: radio.NetB,
+	}, ps, track, campaignStart, pages, requestGap)
+	results["Multisim-WiScape"] = ws.Total
+
+	// MAR serves a busy gateway: requests are back to back (its win is
+	// parallel aggregation), so makespan is the latency measure.
+	rr := mar.RunDownloads(&mar.RoundRobin{Networks: radio.AllNetworks},
+		mar.NewProbers(env, radio.AllNetworks, o.Seed+6), track, campaignStart, pages, 10*time.Millisecond)
+	mws := mar.RunDownloads(&mar.WiScapeScheduler{Ctrl: ctrl, Metric: trace.MetricTCPKbps, Networks: radio.AllNetworks},
+		mar.NewProbers(env, radio.AllNetworks, o.Seed+6), track, campaignStart, pages, 10*time.Millisecond)
+	results["MAR-RR"] = rr.Makespan
+	results["MAR-WiScape"] = mws.Makespan
+
+	for _, name := range []string{"Multisim-WiScape", "Multisim-NetA", "Multisim-NetB", "Multisim-NetC", "MAR-WiScape", "MAR-RR"} {
+		r.AddSeries("%-17s total %8.1f s (%d pages)", name, results[name].Seconds(), nPages)
+	}
+
+	bestFixed := results["Multisim-NetA"]
+	for _, n := range []string{"Multisim-NetB", "Multisim-NetC"} {
+		if results[n] < bestFixed {
+			bestFixed = results[n]
+		}
+	}
+	msImp := 1 - float64(results["Multisim-WiScape"])/float64(bestFixed)
+	marImp := 1 - float64(results["MAR-WiScape"])/float64(results["MAR-RR"])
+	r.AddRow("multi-sim improvement", "~30% over the best fixed carrier (87.7s vs 124.3s NetA)",
+		fmt.Sprintf("%.0f%% over best fixed", msImp*100))
+	r.AddRow("MAR improvement", "~32% over round robin (25.7s vs 36.8s)",
+		fmt.Sprintf("%.0f%% over MAR-RR", marImp*100))
+	r.AddRow("MAR vs multi-sim", "MAR ~3.4x faster (3 parallel interfaces)",
+		fmt.Sprintf("%.1fx faster", float64(results["Multisim-WiScape"])/float64(results["MAR-WiScape"])))
+	return r
+}
+
+// BandwidthTools regenerates the §3.3.1 estimator comparison: Pathload and
+// WBest under-estimate cellular bandwidth badly; plain UDP downloads do
+// not. This is why WiScape measures with UDP downloads.
+func BandwidthTools(o Options) Report {
+	o = o.fill()
+	r := Report{ID: "bwtools", Title: "Bandwidth estimation tools vs UDP downloads (NetB, WI)"}
+
+	field := radio.NewPresetField(radio.NetB, radio.RegionWI, o.Seed, geo.Madison().Center())
+	at := campaignStart.Add(30 * time.Hour)
+	var locs []geo.Point
+	for i := 0; i < 8; i++ {
+		locs = append(locs, geo.Madison().Center().Offset(float64(i*45), 800+float64(i)*900))
+	}
+
+	estimators := []bandwidth.Estimator{
+		&bandwidth.UDPDownloadEstimator{Prober: simnet.NewProber(field, o.Seed+1)},
+		&bandwidth.PathloadEstimator{Field: field, Seed: o.Seed},
+		&bandwidth.WBestEstimator{Field: field, Seed: o.Seed},
+	}
+	paper := map[string]string{
+		"udp-download": "accurate (WiScape's choice)",
+		"pathload":     "under-estimates by up to 40%",
+		"wbest":        "under-estimates by up to 70%",
+	}
+	for _, e := range estimators {
+		var errs []float64
+		for li, loc := range locs {
+			p := simnet.NewProber(field, o.Seed+uint64(100+li))
+			truth := bandwidth.GroundTruthKbps(p, loc, at)
+			for i := 0; i < 10; i++ {
+				est := e.EstimateKbps(loc, at.Add(time.Duration(i)*time.Second))
+				errs = append(errs, (est-truth)/truth)
+			}
+		}
+		r.AddRow(e.Name(), paper[e.Name()],
+			fmt.Sprintf("mean error %+.0f%% (worst %+.0f%%) over %d locations", stats.Mean(errs)*100, stats.Min(errs)*100, len(locs)))
+	}
+	return r
+}

@@ -1,0 +1,254 @@
+// Package mobility models the platforms the paper collected data from
+// (Table 2): static indoor nodes, public transit buses randomly assigned to
+// routes each day, intercity buses on the Madison-Chicago corridor, and cars
+// driven repeatedly over fixed routes.
+//
+// A Track answers "where is this client, how fast is it moving, and is it in
+// service?" for any instant, deterministically, with no per-step state — so
+// campaigns can be replayed and sampled at any granularity.
+package mobility
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+)
+
+// Pose is a client's kinematic state at an instant.
+type Pose struct {
+	Loc      geo.Point
+	SpeedKmh float64
+	Active   bool // false when the platform is out of service (bus garaged)
+}
+
+// Track yields a client's pose over time.
+type Track interface {
+	// Pose returns the client's state at t.
+	Pose(t time.Time) Pose
+}
+
+// Static is a node at a fixed location, always active (the Spot datasets).
+type Static struct {
+	P geo.Point
+}
+
+// Pose implements Track.
+func (s Static) Pose(time.Time) Pose {
+	return Pose{Loc: s.P, SpeedKmh: 0, Active: true}
+}
+
+// shuttle computes ping-pong motion along a route: total distance travelled
+// folds back and forth over the route length.
+func shuttle(route geo.Polyline, travelled float64) geo.Point {
+	length := route.Length()
+	if length <= 0 {
+		return route.At(0)
+	}
+	phase := math.Mod(travelled, 2*length)
+	if phase < 0 {
+		phase += 2 * length
+	}
+	if phase <= length {
+		return route.At(phase)
+	}
+	return route.At(2*length - phase)
+}
+
+// speedProfile is a smooth analytic speed process v(t) whose integral (the
+// distance travelled) has a closed form, keeping pose and reported speed
+// exactly consistent:
+//
+//	v(t) = v0 (1 + a sin(w t + phi)),  d(t) = v0 (t - a/w cos(w t + phi)) + C
+type speedProfile struct {
+	v0    float64 // mean speed, m/s
+	amp   float64 // modulation amplitude in (0, 1)
+	omega float64 // rad/s
+	phase float64
+}
+
+func newSpeedProfile(meanKmh, amp float64, periodSec float64, seed uint64) speedProfile {
+	r := rng.New(seed)
+	return speedProfile{
+		v0:    meanKmh / 3.6,
+		amp:   amp,
+		omega: 2 * math.Pi / periodSec,
+		phase: r.Float64() * 2 * math.Pi,
+	}
+}
+
+// speedKmh returns the instantaneous speed at elapsed seconds e.
+func (sp speedProfile) speedKmh(e float64) float64 {
+	return sp.v0 * (1 + sp.amp*math.Sin(sp.omega*e+sp.phase)) * 3.6
+}
+
+// distanceM returns meters travelled in [0, e].
+func (sp speedProfile) distanceM(e float64) float64 {
+	return sp.v0 * (e - sp.amp/sp.omega*(math.Cos(sp.omega*e+sp.phase)-math.Cos(sp.phase)))
+}
+
+// TransitBus is a Madison public transit bus: in service from ServiceStart
+// to ServiceEnd hours (paper: 6:00 to midnight), assigned to a random route
+// from Routes each day, shuttling back and forth at city bus speeds.
+type TransitBus struct {
+	Routes       []geo.Polyline
+	MeanSpeedKmh float64 // average in-service speed (default 22 km/h)
+	ServiceStart int     // local hour, default 6
+	ServiceEnd   int     // local hour, default 24
+	Seed         uint64
+
+	profile speedProfile
+}
+
+// NewTransitBus returns a bus with paper-like defaults. Each (seed, busID)
+// is an independent vehicle.
+func NewTransitBus(routes []geo.Polyline, seed uint64, busID int) *TransitBus {
+	s := rng.Hash64(seed, rng.HashString("transit-bus"), uint64(busID))
+	b := &TransitBus{
+		Routes:       routes,
+		MeanSpeedKmh: 22,
+		ServiceStart: 6,
+		ServiceEnd:   24,
+		Seed:         s,
+	}
+	b.profile = newSpeedProfile(b.MeanSpeedKmh, 0.85, 300, s)
+	return b
+}
+
+// routeOfDay picks the day's route assignment deterministically.
+func (b *TransitBus) routeOfDay(t time.Time) geo.Polyline {
+	day := t.Truncate(24*time.Hour).Unix() / 86400
+	idx := int(rng.Hash64(b.Seed, uint64(day)) % uint64(len(b.Routes)))
+	return b.Routes[idx]
+}
+
+// Pose implements Track.
+func (b *TransitBus) Pose(t time.Time) Pose {
+	hour := t.Hour()
+	if hour < b.ServiceStart || hour >= b.ServiceEnd {
+		// Garaged at the day route's start.
+		return Pose{Loc: b.routeOfDay(t).At(0), SpeedKmh: 0, Active: false}
+	}
+	route := b.routeOfDay(t)
+	dayStart := time.Date(t.Year(), t.Month(), t.Day(), b.ServiceStart, 0, 0, 0, t.Location())
+	elapsed := t.Sub(dayStart).Seconds()
+	return Pose{
+		Loc:      shuttle(route, b.profile.distanceM(elapsed)),
+		SpeedKmh: b.profile.speedKmh(elapsed),
+		Active:   true,
+	}
+}
+
+// IntercityBus runs the Madison-Chicago corridor at highway speeds, one
+// round trip per day, departing DepartHour.
+type IntercityBus struct {
+	Route        geo.Polyline
+	MeanSpeedKmh float64 // default 90
+	DepartHour   int     // default 8
+	Seed         uint64
+
+	profile speedProfile
+}
+
+// NewIntercityBus returns an intercity bus with paper-like defaults.
+func NewIntercityBus(route geo.Polyline, seed uint64, busID int) *IntercityBus {
+	s := rng.Hash64(seed, rng.HashString("intercity-bus"), uint64(busID))
+	b := &IntercityBus{
+		Route:        route,
+		MeanSpeedKmh: 90,
+		DepartHour:   8,
+		Seed:         s,
+	}
+	b.profile = newSpeedProfile(b.MeanSpeedKmh, 0.3, 600, s)
+	return b
+}
+
+// Pose implements Track.
+func (b *IntercityBus) Pose(t time.Time) Pose {
+	depart := time.Date(t.Year(), t.Month(), t.Day(), b.DepartHour, 0, 0, 0, t.Location())
+	if t.Before(depart) {
+		return Pose{Loc: b.Route.At(0), SpeedKmh: 0, Active: false}
+	}
+	elapsed := t.Sub(depart).Seconds()
+	travelled := b.profile.distanceM(elapsed)
+	if travelled >= 2*b.Route.Length() {
+		// Round trip done; parked at origin for the rest of the day.
+		return Pose{Loc: b.Route.At(0), SpeedKmh: 0, Active: false}
+	}
+	return Pose{
+		Loc:      shuttle(b.Route, travelled),
+		SpeedKmh: b.profile.speedKmh(elapsed),
+		Active:   true,
+	}
+}
+
+// CarLoop is a personal car driven continuously back and forth over a fixed
+// route (the Proximate and Short segment collection method).
+type CarLoop struct {
+	Route        geo.Polyline
+	MeanSpeedKmh float64 // default 55 (paper: Short segment at ~55 km/h)
+	Seed         uint64
+
+	profile speedProfile
+}
+
+// NewCarLoop returns a car with paper-like defaults.
+func NewCarLoop(route geo.Polyline, seed uint64, carID int) *CarLoop {
+	s := rng.Hash64(seed, rng.HashString("car"), uint64(carID))
+	c := &CarLoop{Route: route, MeanSpeedKmh: 55, Seed: s}
+	c.profile = newSpeedProfile(c.MeanSpeedKmh, 0.4, 240, s)
+	return c
+}
+
+// Pose implements Track.
+func (c *CarLoop) Pose(t time.Time) Pose {
+	elapsed := t.Sub(dayOrigin(t)).Seconds()
+	return Pose{
+		Loc:      shuttle(c.Route, c.profile.distanceM(elapsed)),
+		SpeedKmh: c.profile.speedKmh(elapsed),
+		Active:   true,
+	}
+}
+
+// OrbitCar circles within radiusM of a center point — the Proximate
+// collection pattern ("driving around in a car within a 250 meter radius
+// of the Static location").
+type OrbitCar struct {
+	Center  geo.Point
+	RadiusM float64
+	Seed    uint64
+
+	profile speedProfile
+}
+
+// NewOrbitCar returns an orbiting car with paper-like defaults.
+func NewOrbitCar(center geo.Point, radiusM float64, seed uint64, carID int) *OrbitCar {
+	s := rng.Hash64(seed, rng.HashString("orbit-car"), uint64(carID))
+	c := &OrbitCar{Center: center, RadiusM: radiusM, Seed: s}
+	c.profile = newSpeedProfile(25, 0.5, 180, s)
+	return c
+}
+
+// Pose implements Track.
+func (c *OrbitCar) Pose(t time.Time) Pose {
+	elapsed := t.Sub(dayOrigin(t)).Seconds()
+	travelled := c.profile.distanceM(elapsed)
+	// Spiral between 20% and 100% of the radius so samples cover the zone
+	// rather than one ring.
+	circumference := 2 * math.Pi * c.RadiusM
+	angle := travelled / circumference * 2 * math.Pi
+	radiusPhase := math.Mod(travelled/(3*circumference), 1)
+	radius := c.RadiusM * (0.2 + 0.8*radiusPhase)
+	return Pose{
+		Loc:      c.Center.Offset(angle*180/math.Pi, radius),
+		SpeedKmh: c.profile.speedKmh(elapsed),
+		Active:   true,
+	}
+}
+
+// dayOrigin returns local midnight of t's day, the elapsed-time origin for
+// always-active tracks.
+func dayOrigin(t time.Time) time.Time {
+	return time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, t.Location())
+}

@@ -1,0 +1,219 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+)
+
+var day0 = time.Date(2010, 9, 6, 0, 0, 0, 0, time.UTC) // a Monday
+
+func TestStatic(t *testing.T) {
+	s := Static{P: geo.Point{Lat: 43.07, Lon: -89.4}}
+	p := s.Pose(day0.Add(5 * time.Hour))
+	if !p.Active || p.SpeedKmh != 0 || p.Loc != s.P {
+		t.Fatalf("static pose wrong: %+v", p)
+	}
+}
+
+func TestTransitBusServiceWindow(t *testing.T) {
+	b := NewTransitBus(geo.MadisonBusRoutes(), 1, 0)
+	if b.Pose(day0.Add(3 * time.Hour)).Active {
+		t.Fatal("bus should be garaged at 3am")
+	}
+	if !b.Pose(day0.Add(10 * time.Hour)).Active {
+		t.Fatal("bus should be in service at 10am")
+	}
+	if b.Pose(day0.Add(10*time.Hour)).SpeedKmh < 0 {
+		t.Fatal("negative speed")
+	}
+}
+
+func TestTransitBusStaysOnRoutes(t *testing.T) {
+	routes := geo.MadisonBusRoutes()
+	b := NewTransitBus(routes, 1, 0)
+	box := geo.Madison()
+	for h := 0; h < 24*7; h++ {
+		p := b.Pose(day0.Add(time.Duration(h) * time.Hour))
+		// Routes live inside (or very near) the Madison box.
+		grow := geo.BoundingBox{
+			MinLat: box.MinLat - 0.02, MaxLat: box.MaxLat + 0.02,
+			MinLon: box.MinLon - 0.02, MaxLon: box.MaxLon + 0.02,
+		}
+		if !grow.Contains(p.Loc) {
+			t.Fatalf("bus escaped Madison at hour %d: %v", h, p.Loc)
+		}
+	}
+}
+
+func TestTransitBusRandomDailyRoutes(t *testing.T) {
+	b := NewTransitBus(geo.MadisonBusRoutes(), 1, 0)
+	// Garage location = day route start; it should change across days.
+	locs := make(map[string]bool)
+	for d := 0; d < 14; d++ {
+		p := b.Pose(day0.Add(time.Duration(d)*24*time.Hour + 2*time.Hour))
+		locs[p.Loc.String()] = true
+	}
+	if len(locs) < 2 {
+		t.Fatal("bus never changed routes over two weeks")
+	}
+}
+
+func TestTransitBusesIndependent(t *testing.T) {
+	a := NewTransitBus(geo.MadisonBusRoutes(), 1, 0)
+	b := NewTransitBus(geo.MadisonBusRoutes(), 1, 1)
+	at := day0.Add(10 * time.Hour)
+	if a.Pose(at).Loc == b.Pose(at).Loc {
+		t.Fatal("two buses at the exact same point is wildly unlikely")
+	}
+}
+
+func TestBusMovesContinuously(t *testing.T) {
+	b := NewTransitBus(geo.MadisonBusRoutes(), 1, 0)
+	prev := b.Pose(day0.Add(10 * time.Hour))
+	for i := 1; i <= 600; i++ {
+		cur := b.Pose(day0.Add(10*time.Hour + time.Duration(i)*time.Second))
+		d := prev.Loc.DistanceTo(cur.Loc)
+		// At <= ~41 km/h peak (22*1.85), one second moves <= ~12 m.
+		if d > 15 {
+			t.Fatalf("bus teleported %v m in 1 s", d)
+		}
+		prev = cur
+	}
+}
+
+func TestIntercityBusRoundTrip(t *testing.T) {
+	b := NewIntercityBus(geo.MadisonChicago(), 1, 0)
+	if b.Pose(day0.Add(6 * time.Hour)).Active {
+		t.Fatal("intercity bus departs at 8am; inactive before")
+	}
+	mid := b.Pose(day0.Add(9*time.Hour + 30*time.Minute))
+	if !mid.Active {
+		t.Fatal("bus should be en route at 9:30")
+	}
+	start := b.Route.At(0)
+	if mid.Loc.DistanceTo(start) < 10000 {
+		t.Fatal("after 1.5 h at ~90 km/h the bus should be far from Madison")
+	}
+	// A 480 km round trip at 90 km/h takes ~5.3 h; after 7 h it's done.
+	late := b.Pose(day0.Add(16 * time.Hour))
+	if late.Active {
+		t.Fatal("round trip should be over by 16:00")
+	}
+	if late.Loc.DistanceTo(start) > 1 {
+		t.Fatal("bus should be parked back at the origin")
+	}
+}
+
+func TestIntercityBusSpeed(t *testing.T) {
+	b := NewIntercityBus(geo.MadisonChicago(), 1, 0)
+	var max float64
+	for m := 0; m < 300; m++ {
+		p := b.Pose(day0.Add(8*time.Hour + time.Duration(m)*time.Minute))
+		if !p.Active {
+			continue
+		}
+		if p.SpeedKmh > max {
+			max = p.SpeedKmh
+		}
+		if p.SpeedKmh < 0 || p.SpeedKmh > 125 {
+			t.Fatalf("implausible highway speed %v", p.SpeedKmh)
+		}
+	}
+	if max < 90 {
+		t.Fatalf("peak speed %v; expected highway speeds", max)
+	}
+}
+
+func TestCarLoopCoversRoute(t *testing.T) {
+	route := geo.ShortSegment()
+	c := NewCarLoop(route, 1, 0)
+	length := route.Length()
+	// Over a full day the car covers the whole segment repeatedly; check we
+	// see positions near both ends.
+	start := route.At(0)
+	end := route.At(length)
+	var sawStart, sawEnd bool
+	for m := 0; m < 24*60; m += 3 {
+		p := c.Pose(day0.Add(time.Duration(m) * time.Minute))
+		if p.Loc.DistanceTo(start) < 2000 {
+			sawStart = true
+		}
+		if p.Loc.DistanceTo(end) < 2000 {
+			sawEnd = true
+		}
+	}
+	if !sawStart || !sawEnd {
+		t.Fatalf("car did not cover the segment: start=%v end=%v", sawStart, sawEnd)
+	}
+}
+
+func TestCarSpeedProfile(t *testing.T) {
+	c := NewCarLoop(geo.ShortSegment(), 1, 0)
+	var sum float64
+	n := 0
+	for s := 0; s < 3600; s += 10 {
+		p := c.Pose(day0.Add(time.Duration(s) * time.Second))
+		if p.SpeedKmh < 0 || p.SpeedKmh > 120 {
+			t.Fatalf("implausible car speed %v", p.SpeedKmh)
+		}
+		sum += p.SpeedKmh
+		n++
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-55) > 8 {
+		t.Fatalf("mean speed %v, want ~55 (paper)", mean)
+	}
+}
+
+func TestOrbitCarStaysInZone(t *testing.T) {
+	center := geo.Point{Lat: 43.0766, Lon: -89.4125}
+	c := NewOrbitCar(center, 250, 1, 0)
+	var maxDist, minDist float64 = 0, math.Inf(1)
+	for s := 0; s < 7200; s += 5 {
+		p := c.Pose(day0.Add(time.Duration(s) * time.Second))
+		d := center.DistanceTo(p.Loc)
+		if d > maxDist {
+			maxDist = d
+		}
+		if d < minDist {
+			minDist = d
+		}
+	}
+	if maxDist > 251 {
+		t.Fatalf("orbit car escaped the 250 m zone: %v m", maxDist)
+	}
+	if maxDist-minDist < 100 {
+		t.Fatalf("orbit car should sweep radii (saw %v..%v m)", minDist, maxDist)
+	}
+}
+
+func TestPoseConsistency(t *testing.T) {
+	// distance(t, t+dt) ~ speed * dt for a moving car: the closed-form
+	// profile keeps position and speed consistent.
+	c := NewCarLoop(geo.ShortSegment(), 2, 1)
+	at := day0.Add(2 * time.Hour)
+	const dt = 1.0 // second
+	for i := 0; i < 300; i++ {
+		t0 := at.Add(time.Duration(i) * 5 * time.Second)
+		p0 := c.Pose(t0)
+		p1 := c.Pose(t0.Add(time.Second))
+		moved := p0.Loc.DistanceTo(p1.Loc)
+		speedM := p0.SpeedKmh / 3.6 * dt
+		// Allow slack for the turnaround at route ends.
+		if moved > speedM*1.5+2 {
+			t.Fatalf("pose/speed inconsistent: moved %v m at reported %v m/s", moved, speedM)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewTransitBus(geo.MadisonBusRoutes(), 9, 3)
+	b := NewTransitBus(geo.MadisonBusRoutes(), 9, 3)
+	at := day0.Add(13 * time.Hour)
+	if a.Pose(at) != b.Pose(at) {
+		t.Fatal("same-seed buses must coincide")
+	}
+}

@@ -1,0 +1,42 @@
+package radio
+
+// Calibration probe run as a test (removed tooling; invoke with -run Calib -v).
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+func TestCalibProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, kind := range []RegionKind{RegionWI, RegionNJ} {
+		origin := geo.Madison().Center()
+		if kind == RegionNJ {
+			origin = geo.NJStaticSites()[0]
+		}
+		f := NewPresetField(NetB, kind, 1011, origin)
+		var mins []float64
+		for loc := 0; loc < 10; loc++ {
+			r := rng.New(uint64(77 + loc))
+			pt := origin.Offset(float64(loc)*30, 500+float64(loc)*950)
+			series := make([]float64, 21*24*60)
+			for i := range series {
+				c := f.At(pt, Epoch.Add(time.Duration(i)*time.Minute))
+				// effective 100-pkt UDP sample noise incl duration averaging
+				eff := c.FastSigmaRel * 0.764
+				series[i] = c.CapacityKbps * (1 + eff*r.NormFloat64())
+			}
+			best, _ := stats.MinAllanWindow(series, stats.LogSpacedWindows(1, 1000, 25))
+			mins = append(mins, float64(best))
+		}
+		sort.Float64s(mins)
+		t.Logf("kind=%v minima=%v median=%v", kind, mins, mins[len(mins)/2])
+	}
+}

@@ -1,0 +1,108 @@
+package stats
+
+import "math"
+
+// Accum is an online (Welford) accumulator of count, mean and variance. The
+// coordinator keeps one per zone per epoch so that sample ingestion is O(1)
+// in memory regardless of campaign length. The zero value is ready to use.
+type Accum struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (a *Accum) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.mean = x
+		a.m2 = 0
+		a.min = x
+		a.max = x
+		return
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+	if x < a.min {
+		a.min = x
+	}
+	if x > a.max {
+		a.max = x
+	}
+}
+
+// AddAll folds every value of xs into the accumulator.
+func (a *Accum) AddAll(xs []float64) {
+	for _, x := range xs {
+		a.Add(x)
+	}
+}
+
+// Count returns the number of samples seen.
+func (a *Accum) Count() int64 { return a.n }
+
+// Mean returns the running mean (0 when empty).
+func (a *Accum) Mean() float64 { return a.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (a *Accum) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (a *Accum) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// RelStdDev returns StdDev/Mean (0 when the mean is 0).
+func (a *Accum) RelStdDev() float64 {
+	if a.mean == 0 {
+		return 0
+	}
+	return math.Abs(a.StdDev() / a.mean)
+}
+
+// Min returns the smallest sample seen (0 when empty).
+func (a *Accum) Min() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// Max returns the largest sample seen (0 when empty).
+func (a *Accum) Max() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// Merge folds another accumulator into a (parallel merge of Welford states).
+func (a *Accum) Merge(b *Accum) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*float64(a.n)*float64(b.n)/float64(n)
+	a.mean += d * float64(b.n) / float64(n)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n = n
+}
+
+// Reset returns the accumulator to its empty state.
+func (a *Accum) Reset() { *a = Accum{} }

@@ -1,0 +1,115 @@
+package stats
+
+import "math"
+
+// AllanDeviation computes the (non-overlapping) Allan deviation of a
+// regularly sampled series at an averaging window of m samples:
+//
+//	σ_A(τ) = sqrt( Σ (T_{i+1} − T_i)² / (2 (N−1)) )
+//
+// where T_i are the averages of consecutive windows of m raw samples and N
+// is the number of windows (paper §3.2.2). It returns 0 when fewer than two
+// windows fit.
+//
+// WiScape picks, per zone, the averaging time τ that minimizes the Allan
+// deviation of the monitored metric; that τ is the zone's epoch.
+func AllanDeviation(series []float64, m int) float64 {
+	if m < 1 {
+		return 0
+	}
+	nWindows := len(series) / m
+	if nWindows < 2 {
+		return 0
+	}
+	// Window averages T_i.
+	avg := make([]float64, nWindows)
+	for w := 0; w < nWindows; w++ {
+		sum := 0.0
+		for i := w * m; i < (w+1)*m; i++ {
+			sum += series[i]
+		}
+		avg[w] = sum / float64(m)
+	}
+	ss := 0.0
+	for i := 1; i < nWindows; i++ {
+		d := avg[i] - avg[i-1]
+		ss += d * d
+	}
+	return math.Sqrt(ss / (2 * float64(nWindows-1)))
+}
+
+// NormalizedAllanDeviation returns AllanDeviation divided by the series
+// mean, giving the dimensionless 0–1 values plotted in paper Fig. 6. It
+// returns 0 when the mean is 0.
+func NormalizedAllanDeviation(series []float64, m int) float64 {
+	mean := Mean(series)
+	if mean == 0 {
+		return 0
+	}
+	return math.Abs(AllanDeviation(series, m) / mean)
+}
+
+// AllanPoint is one (τ, σ_A) point of an Allan deviation sweep.
+type AllanPoint struct {
+	WindowSamples int     // averaging window in raw samples
+	Deviation     float64 // normalized Allan deviation at that window
+}
+
+// AllanSweep evaluates the normalized Allan deviation across the given
+// window sizes (in raw samples), skipping windows for which fewer than two
+// windows of data exist.
+func AllanSweep(series []float64, windows []int) []AllanPoint {
+	var out []AllanPoint
+	for _, m := range windows {
+		if m < 1 || len(series)/m < 2 {
+			continue
+		}
+		out = append(out, AllanPoint{WindowSamples: m, Deviation: NormalizedAllanDeviation(series, m)})
+	}
+	return out
+}
+
+// MinAllanWindow returns the window size (in raw samples) minimizing the
+// normalized Allan deviation over the sweep, and that minimum value. This is
+// WiScape's epoch chooser. It returns (0, 0) when the sweep is empty.
+func MinAllanWindow(series []float64, windows []int) (bestWindow int, bestDev float64) {
+	pts := AllanSweep(series, windows)
+	if len(pts) == 0 {
+		return 0, 0
+	}
+	best := pts[0]
+	for _, p := range pts[1:] {
+		if p.Deviation < best.Deviation {
+			best = p
+		}
+	}
+	return best.WindowSamples, best.Deviation
+}
+
+// LogSpacedWindows returns window sizes spaced roughly logarithmically
+// between lo and hi (inclusive), useful for Allan sweeps spanning 1–1000
+// minutes as in Fig. 6. Duplicate sizes are removed.
+func LogSpacedWindows(lo, hi, count int) []int {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi < lo || count < 1 {
+		return nil
+	}
+	if count == 1 {
+		return []int{lo}
+	}
+	out := make([]int, 0, count)
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(count-1))
+	prev := 0
+	v := float64(lo)
+	for i := 0; i < count; i++ {
+		w := int(math.Round(v))
+		if w > prev {
+			out = append(out, w)
+			prev = w
+		}
+		v *= ratio
+	}
+	return out
+}

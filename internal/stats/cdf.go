@@ -1,0 +1,65 @@
+package stats
+
+import "sort"
+
+// CDF is an empirical cumulative distribution function over a set of
+// samples. Most figures in the paper are CDF plots; experiment harnesses use
+// this type to emit the same series.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF from xs (copied, then sorted).
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the number of underlying samples.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// At returns P(X <= x), the fraction of samples at or below x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	// First index with value > x.
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > x })
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Quantile returns the value at cumulative probability p in [0, 1].
+func (c *CDF) Quantile(p float64) float64 {
+	return percentileSorted(c.sorted, p*100)
+}
+
+// CDFPoint is one (x, P(X<=x)) pair of a rendered CDF series.
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// Points renders the CDF as n evenly spaced points across the sample range,
+// suitable for printing figure series.
+func (c *CDF) Points(n int) []CDFPoint {
+	if len(c.sorted) == 0 || n <= 0 {
+		return nil
+	}
+	lo := c.sorted[0]
+	hi := c.sorted[len(c.sorted)-1]
+	out := make([]CDFPoint, n)
+	for i := 0; i < n; i++ {
+		x := lo
+		if n > 1 {
+			x = lo + (hi-lo)*float64(i)/float64(n-1)
+		}
+		out[i] = CDFPoint{X: x, P: c.At(x)}
+	}
+	return out
+}
+
+// FractionBelow is shorthand for At: the fraction of samples <= x. Paper
+// claims of the form "80% of zones have relative deviation below 4%" are
+// checked with it.
+func (c *CDF) FractionBelow(x float64) float64 { return c.At(x) }

@@ -1,0 +1,150 @@
+package stats
+
+import "math"
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Values outside the range
+// clamp into the first/last bin so that no probability mass is lost when two
+// sample sets with slightly different supports are compared.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []float64
+}
+
+// NewHistogram returns a histogram with bins equal-width bins over [lo, hi).
+// It panics if bins < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		panic("stats: histogram needs hi > lo")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]float64, bins)}
+}
+
+// Add folds x into the histogram.
+func (h *Histogram) Add(x float64) {
+	i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// AddAll folds every value of xs into the histogram.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of samples added.
+func (h *Histogram) Total() float64 {
+	return Sum(h.Counts)
+}
+
+// Prob returns the histogram normalized to a probability distribution with
+// additive (Laplace) smoothing eps per bin, so that KLD terms never divide
+// by zero. eps <= 0 disables smoothing.
+func (h *Histogram) Prob(eps float64) []float64 {
+	if eps < 0 {
+		eps = 0
+	}
+	total := h.Total() + eps*float64(len(h.Counts))
+	p := make([]float64, len(h.Counts))
+	if total == 0 {
+		return p
+	}
+	for i, c := range h.Counts {
+		p[i] = (c + eps) / total
+	}
+	return p
+}
+
+// Entropy returns H(p) = Σ p · log(1/p) in nats, skipping zero-probability
+// bins.
+func Entropy(p []float64) float64 {
+	h := 0.0
+	for _, pi := range p {
+		if pi > 0 {
+			h -= pi * math.Log(pi)
+		}
+	}
+	return h
+}
+
+// KLD returns the paper's absolute-value Kullback–Leibler divergence
+// D(p‖q) = Σ p·|log(p/q)| (§3.3). Bins where p is zero contribute nothing;
+// bins where q is zero but p is not make the divergence +Inf (callers should
+// smooth first via Histogram.Prob).
+func KLD(p, q []float64) float64 {
+	d := 0.0
+	for i := range p {
+		if p[i] == 0 {
+			continue
+		}
+		if i >= len(q) || q[i] == 0 {
+			return math.Inf(1)
+		}
+		d += p[i] * math.Abs(math.Log(p[i]/q[i]))
+	}
+	return d
+}
+
+// NKLD returns the symmetric normalized Kullback–Leibler divergence of
+// paper §3.3:
+//
+//	NKLD(p, q) = ½ ( D(p‖q)/H(p) + D(q‖p)/H(q) )
+//
+// A value at or below 0.1 is the paper's threshold for "the two
+// distributions are similar". Degenerate inputs (zero entropy: all mass in
+// one bin) yield 0 when the distributions are identical and +Inf otherwise.
+func NKLD(p, q []float64) float64 {
+	hp := Entropy(p)
+	hq := Entropy(q)
+	dpq := KLD(p, q)
+	dqp := KLD(q, p)
+	if hp == 0 || hq == 0 {
+		if dpq == 0 && dqp == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (dpq/hp + dqp/hq) / 2
+}
+
+// NKLDSimilarityThreshold is the paper's NKLD cut-off below which two sample
+// distributions are considered statistically similar.
+const NKLDSimilarityThreshold = 0.1
+
+// DefaultNKLDBins is the histogram resolution used when comparing sample
+// distributions.
+const DefaultNKLDBins = 20
+
+// NKLDFromSamples bins two sample sets over their common range and returns
+// their NKLD. A small Laplace smoothing keeps the divergence finite for
+// disjoint supports. Empty inputs return +Inf (nothing is similar to no
+// data).
+func NKLDFromSamples(a, b []float64, bins int) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return math.Inf(1)
+	}
+	if bins < 1 {
+		bins = DefaultNKLDBins
+	}
+	lo := math.Min(Min(a), Min(b))
+	hi := math.Max(Max(a), Max(b))
+	if hi <= lo {
+		// All values identical: identical point distributions.
+		return 0
+	}
+	ha := NewHistogram(lo, hi, bins)
+	ha.AddAll(a)
+	hb := NewHistogram(lo, hi, bins)
+	hb.AddAll(b)
+	const eps = 0.5 // Jeffreys-style smoothing
+	return NKLD(ha.Prob(eps), hb.Prob(eps))
+}

@@ -1,0 +1,299 @@
+package trace
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+)
+
+// Client is one measurement platform in a campaign: a mobility track plus
+// the set of networks its modems can reach.
+type Client struct {
+	ID       string
+	Track    mobility.Track
+	Networks []radio.NetworkID
+}
+
+// Campaign drives a set of clients over an environment for a period,
+// collecting the configured metrics on a fixed cadence — the simulation
+// counterpart of the paper's data collection processes (§2).
+type Campaign struct {
+	Name     string
+	Env      *radio.Environment
+	Clients  []Client
+	Start    time.Time
+	Duration time.Duration
+	Interval time.Duration // per-client measurement cadence
+	Metrics  []Metric
+	Seed     uint64
+
+	// Measurement parameters (Table 1); zero values take the defaults
+	// below.
+	UDPPackets   int // default 100
+	UDPSizeBytes int // default 1200
+	TCPBytes     int // default 256 KiB
+}
+
+const (
+	defaultUDPPackets = 100
+	defaultUDPSize    = 1200
+	defaultTCPBytes   = 256 << 10
+)
+
+// Run executes the campaign and returns the collected dataset. The run is
+// deterministic in (campaign definition, Seed).
+func (c *Campaign) Run() *Dataset {
+	udpPackets := c.UDPPackets
+	if udpPackets <= 0 {
+		udpPackets = defaultUDPPackets
+	}
+	udpSize := c.UDPSizeBytes
+	if udpSize <= 0 {
+		udpSize = defaultUDPSize
+	}
+	tcpBytes := c.TCPBytes
+	if tcpBytes <= 0 {
+		tcpBytes = defaultTCPBytes
+	}
+
+	wants := make(map[Metric]bool, len(c.Metrics))
+	for _, m := range c.Metrics {
+		wants[m] = true
+	}
+
+	d := &Dataset{Name: c.Name}
+	for _, cl := range c.Clients {
+		// Stagger clients so they don't sample in lockstep.
+		phase := time.Duration(rng.Hash64(c.Seed, rng.HashString(cl.ID)) % uint64(c.Interval))
+		probers := make(map[radio.NetworkID]*simnet.Prober, len(cl.Networks))
+		for _, n := range cl.Networks {
+			f := c.Env.Field(n)
+			if f == nil {
+				continue
+			}
+			probers[n] = simnet.NewProber(f, rng.Hash64(c.Seed, rng.HashString(cl.ID), rng.HashString(string(n))))
+		}
+		for at := c.Start.Add(phase); at.Before(c.Start.Add(c.Duration)); at = at.Add(c.Interval) {
+			pose := cl.Track.Pose(at)
+			if !pose.Active {
+				continue
+			}
+			for _, n := range cl.Networks {
+				p := probers[n]
+				if p == nil {
+					continue
+				}
+				c.measure(d, p, cl.ID, n, pose, at, wants, udpPackets, udpSize, tcpBytes)
+			}
+		}
+	}
+	return d
+}
+
+// measure runs one measurement round for one client on one network.
+func (c *Campaign) measure(d *Dataset, p *simnet.Prober, clientID string, n radio.NetworkID,
+	pose mobility.Pose, at time.Time, wants map[Metric]bool, udpPackets, udpSize, tcpBytes int) {
+
+	base := Sample{Time: at, Loc: pose.Loc, Network: n, ClientID: clientID, SpeedKmh: pose.SpeedKmh}
+
+	if wants[MetricTCPKbps] {
+		s := base
+		s.Metric = MetricTCPKbps
+		s.Value = p.TCPDownload(pose.Loc, at, tcpBytes).ThroughputKbps()
+		d.Add(s)
+	}
+	if wants[MetricUDPKbps] || wants[MetricJitterMs] || wants[MetricLossRate] {
+		fr := p.UDPDownload(pose.Loc, at, udpPackets, udpSize)
+		if wants[MetricUDPKbps] {
+			s := base
+			s.Metric = MetricUDPKbps
+			s.Value = fr.ThroughputKbps()
+			d.Add(s)
+		}
+		if wants[MetricJitterMs] {
+			s := base
+			s.Metric = MetricJitterMs
+			s.Value = fr.JitterMs()
+			d.Add(s)
+		}
+		if wants[MetricLossRate] {
+			s := base
+			s.Metric = MetricLossRate
+			s.Value = fr.LossRate()
+			d.Add(s)
+		}
+	}
+	if wants[MetricUplinkKbps] {
+		s := base
+		s.Metric = MetricUplinkKbps
+		s.Value = p.UDPUpload(pose.Loc, at, udpPackets, udpSize).ThroughputKbps()
+		d.Add(s)
+	}
+	if wants[MetricRTTMs] {
+		pr := p.Ping(pose.Loc, at)
+		s := base
+		s.Metric = MetricRTTMs
+		s.Value = pr.RTTMs
+		s.Failed = pr.Failed
+		d.Add(s)
+	}
+}
+
+// The campaign presets below mirror the paper's Table 2 dataset catalogue.
+// Durations are parameters: the paper collected for months; benches use
+// days-to-weeks, which the zone/epoch statistics already stabilize over.
+
+// StandaloneCampaign is the Wide-area Standalone process: five transit buses
+// with a single NetB interface collecting TCP throughput and ICMP-style
+// pings across Madison.
+func StandaloneCampaign(seed uint64, start time.Time, duration time.Duration) *Campaign {
+	env := radio.NewEnvironment([]radio.NetworkID{radio.NetB}, radio.RegionWI, seed, geo.Madison().Center())
+	routes := geo.MadisonBusRoutes()
+	var clients []Client
+	for i := 0; i < 5; i++ {
+		clients = append(clients, Client{
+			ID:       clientID("standalone-bus", i),
+			Track:    mobility.NewTransitBus(routes, seed, i),
+			Networks: []radio.NetworkID{radio.NetB},
+		})
+	}
+	return &Campaign{
+		Name:     "Standalone",
+		Env:      env,
+		Clients:  clients,
+		Start:    start,
+		Duration: duration,
+		Interval: 2 * time.Minute,
+		Metrics:  []Metric{MetricTCPKbps, MetricRTTMs},
+		Seed:     seed,
+	}
+}
+
+// WiRoverCampaign is the Wide-area WiRover process: the transit buses plus
+// two intercity buses, dual NetB+NetC interfaces, latency-only measurements
+// (~12 UDP pings a minute; throughput tests would have disturbed the buses'
+// passenger WiFi).
+func WiRoverCampaign(seed uint64, start time.Time, duration time.Duration) *Campaign {
+	env := radio.NewEnvironment([]radio.NetworkID{radio.NetB, radio.NetC}, radio.RegionWI, seed, geo.Madison().Center())
+	routes := geo.MadisonBusRoutes()
+	nets := []radio.NetworkID{radio.NetB, radio.NetC}
+	var clients []Client
+	for i := 0; i < 5; i++ {
+		clients = append(clients, Client{
+			ID:       clientID("wirover-bus", i),
+			Track:    mobility.NewTransitBus(routes, seed, i),
+			Networks: nets,
+		})
+	}
+	for i := 0; i < 2; i++ {
+		clients = append(clients, Client{
+			ID:       clientID("wirover-intercity", i),
+			Track:    mobility.NewIntercityBus(geo.MadisonChicago(), seed, i),
+			Networks: nets,
+		})
+	}
+	return &Campaign{
+		Name:     "WiRover",
+		Env:      env,
+		Clients:  clients,
+		Start:    start,
+		Duration: duration,
+		Interval: 5 * time.Second, // ~12 pings a minute
+		Metrics:  []Metric{MetricRTTMs},
+		Seed:     seed,
+	}
+}
+
+// SpotCampaign is the Static-WI / Static-NJ process: fixed indoor nodes
+// collecting the full metric set at a fine cadence.
+func SpotCampaign(kind radio.RegionKind, seed uint64, start time.Time, duration time.Duration, interval time.Duration) *Campaign {
+	var (
+		name  string
+		sites []geo.Point
+		nets  []radio.NetworkID
+		orig  geo.Point
+	)
+	if kind == radio.RegionNJ {
+		name = "Static-NJ"
+		sites = geo.NJStaticSites()
+		nets = []radio.NetworkID{radio.NetB, radio.NetC}
+		orig = geo.NJStaticSites()[0]
+	} else {
+		name = "Static-WI"
+		sites = geo.MadisonStaticSites()
+		nets = radio.AllNetworks
+		orig = geo.Madison().Center()
+	}
+	env := radio.NewEnvironment(nets, kind, seed, orig)
+	var clients []Client
+	for i, s := range sites {
+		clients = append(clients, Client{
+			ID:       clientID(name, i),
+			Track:    mobility.Static{P: s},
+			Networks: nets,
+		})
+	}
+	return &Campaign{
+		Name:     name,
+		Env:      env,
+		Clients:  clients,
+		Start:    start,
+		Duration: duration,
+		Interval: interval,
+		Metrics:  []Metric{MetricTCPKbps, MetricUDPKbps, MetricJitterMs, MetricLossRate},
+		Seed:     seed,
+	}
+}
+
+// ProximateCampaign is the Region Proximate process: cars orbiting within
+// 250 m of the static sites, sampling what a real WiScape deployment would
+// opportunistically gather around those zones.
+func ProximateCampaign(kind radio.RegionKind, seed uint64, start time.Time, duration time.Duration, interval time.Duration) *Campaign {
+	c := SpotCampaign(kind, seed, start, duration, interval)
+	if kind == radio.RegionNJ {
+		c.Name = "Proximate-NJ"
+	} else {
+		c.Name = "Proximate-WI"
+	}
+	sites := geo.MadisonStaticSites()
+	if kind == radio.RegionNJ {
+		sites = geo.NJStaticSites()
+	}
+	for i := range c.Clients {
+		c.Clients[i].ID = clientID(c.Name, i)
+		c.Clients[i].Track = mobility.NewOrbitCar(sites[i], 250, seed, i)
+	}
+	return c
+}
+
+// ShortSegmentCampaign is the Region Short segment process: a car driving a
+// ~20 km Madison road stretch with all three networks (Figs. 12-13).
+func ShortSegmentCampaign(seed uint64, start time.Time, duration time.Duration) *Campaign {
+	env := radio.NewEnvironment(radio.AllNetworks, radio.RegionWI, seed, geo.Madison().Center())
+	return &Campaign{
+		Name: "ShortSegment",
+		Env:  env,
+		Clients: []Client{{
+			ID:       "segment-car-0",
+			Track:    mobility.NewCarLoop(geo.ShortSegment(), seed, 0),
+			Networks: radio.AllNetworks,
+		}},
+		Start:    start,
+		Duration: duration,
+		Interval: time.Minute,
+		Metrics:  []Metric{MetricTCPKbps, MetricUDPKbps, MetricRTTMs},
+		Seed:     seed,
+	}
+}
+
+func clientID(prefix string, i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return prefix + "-" + digits[i:i+1]
+	}
+	return prefix + "-" + digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}

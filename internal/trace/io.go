@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+)
+
+// csvHeader is the column layout of the CSV trace format.
+var csvHeader = []string{"time", "lat", "lon", "network", "metric", "value", "client", "device", "speed_kmh", "failed"}
+
+// WriteCSV writes the dataset in the CSV trace format (RFC 3339 timestamps).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	for _, s := range d.Samples {
+		rec := []string{
+			s.Time.UTC().Format(time.RFC3339Nano),
+			strconv.FormatFloat(s.Loc.Lat, 'f', 6, 64),
+			strconv.FormatFloat(s.Loc.Lon, 'f', 6, 64),
+			string(s.Network),
+			string(s.Metric),
+			strconv.FormatFloat(s.Value, 'g', -1, 64),
+			s.ClientID,
+			s.Device,
+			strconv.FormatFloat(s.SpeedKmh, 'f', 2, 64),
+			strconv.FormatBool(s.Failed),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: writing record: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset from the CSV trace format.
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if len(header) != len(csvHeader) || header[0] != "time" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %v", header)
+	}
+	d := &Dataset{Name: name}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		s, err := sampleFromRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		d.Samples = append(d.Samples, s)
+	}
+	return d, nil
+}
+
+func sampleFromRecord(rec []string) (Sample, error) {
+	var s Sample
+	t, err := time.Parse(time.RFC3339Nano, rec[0])
+	if err != nil {
+		return s, fmt.Errorf("bad time: %w", err)
+	}
+	lat, err := strconv.ParseFloat(rec[1], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad lat: %w", err)
+	}
+	lon, err := strconv.ParseFloat(rec[2], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad lon: %w", err)
+	}
+	val, err := strconv.ParseFloat(rec[5], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value: %w", err)
+	}
+	speed, err := strconv.ParseFloat(rec[8], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad speed: %w", err)
+	}
+	failed, err := strconv.ParseBool(rec[9])
+	if err != nil {
+		return s, fmt.Errorf("bad failed flag: %w", err)
+	}
+	return Sample{
+		Time:     t,
+		Loc:      geo.Point{Lat: lat, Lon: lon},
+		Network:  radio.NetworkID(rec[3]),
+		Metric:   Metric(rec[4]),
+		Value:    val,
+		ClientID: rec[6],
+		Device:   rec[7],
+		SpeedKmh: speed,
+		Failed:   failed,
+	}, nil
+}
+
+// WriteJSONL writes the dataset as one JSON object per line.
+func (d *Dataset) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range d.Samples {
+		if err := enc.Encode(&d.Samples[i]); err != nil {
+			return fmt.Errorf("trace: encoding sample %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a dataset from the JSONL trace format.
+func ReadJSONL(name string, r io.Reader) (*Dataset, error) {
+	d := &Dataset{Name: name}
+	dec := json.NewDecoder(r)
+	for i := 0; ; i++ {
+		var s Sample
+		if err := dec.Decode(&s); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: decoding sample %d: %w", i, err)
+		}
+		d.Samples = append(d.Samples, s)
+	}
+	return d, nil
+}

@@ -1,0 +1,234 @@
+// Package wire defines the client<->coordinator protocol of the WiScape
+// framework (§3.4): clients say hello, periodically report their
+// coarse-grained zone, receive measurement task lists, and upload measured
+// samples; applications query zone estimates.
+//
+// Messages are newline-delimited JSON envelopes over any net.Conn. The
+// format favours debuggability (every message is a greppable line) and has
+// an explicit per-message size cap so a misbehaving peer cannot exhaust
+// server memory.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/trace"
+)
+
+// MsgType discriminates envelope payloads.
+type MsgType string
+
+// Protocol message types.
+const (
+	TypeHello           MsgType = "hello"
+	TypeHelloAck        MsgType = "hello_ack"
+	TypeZoneReport      MsgType = "zone_report"
+	TypeTaskList        MsgType = "task_list"
+	TypeSampleReport    MsgType = "sample_report"
+	TypeSampleAck       MsgType = "sample_ack"
+	TypeEstimateRequest MsgType = "estimate_request"
+	TypeEstimateReply   MsgType = "estimate_reply"
+	TypeZoneListRequest MsgType = "zone_list_request"
+	TypeZoneListReply   MsgType = "zone_list_reply"
+	TypeError           MsgType = "error"
+)
+
+// Hello introduces a client. DeviceClass groups hardware with comparable
+// radios (§3.3: measurements compose within a class; phones and laptop
+// modems must not be mixed without normalization).
+type Hello struct {
+	ClientID    string `json:"client_id"`
+	DeviceClass string `json:"device_class"`
+}
+
+// HelloAck acknowledges registration.
+type HelloAck struct {
+	ServerID        string  `json:"server_id"`
+	TaskIntervalSec float64 `json:"task_interval_sec"`
+}
+
+// ZoneReport is the client's periodic coarse position report (real cellular
+// systems already know the serving cell; WiScape piggybacks on that).
+type ZoneReport struct {
+	ClientID string            `json:"client_id"`
+	Zone     geo.ZoneID        `json:"zone"`
+	Loc      geo.Point         `json:"loc"`
+	SpeedKmh float64           `json:"speed_kmh"`
+	At       time.Time         `json:"at"`
+	Networks []radio.NetworkID `json:"networks"`
+}
+
+// Task instructs a client to run one measurement.
+type Task struct {
+	Network      radio.NetworkID `json:"network"`
+	Metric       trace.Metric    `json:"metric"`
+	UDPPackets   int             `json:"udp_packets,omitempty"`
+	UDPSizeBytes int             `json:"udp_size_bytes,omitempty"`
+	TCPBytes     int             `json:"tcp_bytes,omitempty"`
+}
+
+// TaskList carries the coordinator's measurement assignments for this
+// round. Empty means "stay quiet" — the mechanism that keeps client
+// overhead low.
+type TaskList struct {
+	Tasks []Task `json:"tasks"`
+}
+
+// SampleReport uploads measured samples with their precise GPS fixes.
+type SampleReport struct {
+	ClientID string         `json:"client_id"`
+	Samples  []trace.Sample `json:"samples"`
+}
+
+// SampleAck confirms ingestion.
+type SampleAck struct {
+	Accepted int `json:"accepted"`
+}
+
+// EstimateRequest asks for a zone's published record.
+type EstimateRequest struct {
+	Zone    geo.ZoneID      `json:"zone"`
+	Network radio.NetworkID `json:"network"`
+	Metric  trace.Metric    `json:"metric"`
+}
+
+// EstimateReply returns the record, if any.
+type EstimateReply struct {
+	Found  bool        `json:"found"`
+	Record core.Record `json:"record"`
+}
+
+// ZoneListRequest asks for every published record of one network/metric —
+// the bulk query behind operator dashboards.
+type ZoneListRequest struct {
+	Network radio.NetworkID `json:"network"`
+	Metric  trace.Metric    `json:"metric"`
+}
+
+// ZoneListReply returns the matching records in deterministic zone order.
+type ZoneListReply struct {
+	Records []core.Record `json:"records"`
+}
+
+// ErrorMsg reports a protocol-level problem.
+type ErrorMsg struct {
+	Message string `json:"message"`
+}
+
+// Envelope is the wire frame: exactly one payload field is set, selected by
+// Type.
+type Envelope struct {
+	Type MsgType `json:"type"`
+
+	Hello           *Hello           `json:"hello,omitempty"`
+	HelloAck        *HelloAck        `json:"hello_ack,omitempty"`
+	ZoneReport      *ZoneReport      `json:"zone_report,omitempty"`
+	TaskList        *TaskList        `json:"task_list,omitempty"`
+	SampleReport    *SampleReport    `json:"sample_report,omitempty"`
+	SampleAck       *SampleAck       `json:"sample_ack,omitempty"`
+	EstimateRequest *EstimateRequest `json:"estimate_request,omitempty"`
+	EstimateReply   *EstimateReply   `json:"estimate_reply,omitempty"`
+	ZoneListRequest *ZoneListRequest `json:"zone_list_request,omitempty"`
+	ZoneListReply   *ZoneListReply   `json:"zone_list_reply,omitempty"`
+	Error           *ErrorMsg        `json:"error,omitempty"`
+}
+
+// MaxMessageBytes caps a single wire message. Sample reports dominate; at
+// ~300 bytes per encoded sample this allows reports of ~30k samples.
+const MaxMessageBytes = 8 << 20
+
+// ErrMessageTooLarge is returned when a peer sends an oversized message.
+var ErrMessageTooLarge = errors.New("wire: message exceeds size limit")
+
+// Conn frames envelopes over a net.Conn. Concurrent Sends and concurrent
+// Recvs are each safe only from one goroutine (the usual net.Conn rule).
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewConn wraps a transport connection.
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// Send writes one envelope.
+func (c *Conn) Send(e Envelope) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("wire: encoding %s: %w", e.Type, err)
+	}
+	if len(data) > MaxMessageBytes {
+		return ErrMessageTooLarge
+	}
+	if _, err := c.bw.Write(data); err != nil {
+		return fmt.Errorf("wire: writing %s: %w", e.Type, err)
+	}
+	if err := c.bw.WriteByte('\n'); err != nil {
+		return fmt.Errorf("wire: writing frame end: %w", err)
+	}
+	return c.bw.Flush()
+}
+
+// Recv reads the next envelope, enforcing the size cap.
+func (c *Conn) Recv() (Envelope, error) {
+	var e Envelope
+	line, err := readLineLimited(c.br, MaxMessageBytes)
+	if err != nil {
+		return e, err
+	}
+	if err := json.Unmarshal(line, &e); err != nil {
+		return e, fmt.Errorf("wire: decoding message: %w", err)
+	}
+	if e.Type == "" {
+		return e, errors.New("wire: message missing type")
+	}
+	return e, nil
+}
+
+// readLineLimited reads one \n-terminated line of at most limit bytes.
+func readLineLimited(br *bufio.Reader, limit int) ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if len(buf) > limit {
+			return nil, ErrMessageTooLarge
+		}
+		if err == nil {
+			return buf[:len(buf)-1], nil
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return nil, err
+	}
+}
+
+// Close closes the underlying transport.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// SetDeadline bounds both reads and writes.
+func (c *Conn) SetDeadline(t time.Time) error { return c.nc.SetDeadline(t) }
+
+// Request sends one envelope and waits for the reply (simple synchronous
+// RPC pattern; the protocol is strictly request/response per message).
+func (c *Conn) Request(e Envelope) (Envelope, error) {
+	if err := c.Send(e); err != nil {
+		return Envelope{}, err
+	}
+	return c.Recv()
+}

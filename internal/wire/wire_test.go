@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/trace"
+)
+
+func pipePair() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+
+	msgs := []Envelope{
+		{Type: TypeHello, Hello: &Hello{ClientID: "c1", DeviceClass: "laptop-usb-modem"}},
+		{Type: TypeHelloAck, HelloAck: &HelloAck{ServerID: "coord", TaskIntervalSec: 300}},
+		{Type: TypeZoneReport, ZoneReport: &ZoneReport{
+			ClientID: "c1", Zone: geo.ZoneID{X: 3, Y: -2},
+			Loc: geo.Point{Lat: 43.07, Lon: -89.4}, SpeedKmh: 23,
+			At:       time.Date(2010, 9, 10, 12, 0, 0, 0, time.UTC),
+			Networks: []radio.NetworkID{radio.NetB},
+		}},
+		{Type: TypeTaskList, TaskList: &TaskList{Tasks: []Task{
+			{Network: radio.NetB, Metric: trace.MetricUDPKbps, UDPPackets: 100, UDPSizeBytes: 1200},
+		}}},
+		{Type: TypeSampleReport, SampleReport: &SampleReport{ClientID: "c1", Samples: []trace.Sample{
+			{Time: time.Date(2010, 9, 10, 12, 0, 1, 0, time.UTC), Loc: geo.Point{Lat: 43, Lon: -89},
+				Network: radio.NetB, Metric: trace.MetricUDPKbps, Value: 901.5, ClientID: "c1"},
+		}}},
+		{Type: TypeSampleAck, SampleAck: &SampleAck{Accepted: 1}},
+		{Type: TypeEstimateRequest, EstimateRequest: &EstimateRequest{
+			Zone: geo.ZoneID{X: 3, Y: -2}, Network: radio.NetB, Metric: trace.MetricUDPKbps}},
+		{Type: TypeError, Error: &ErrorMsg{Message: "nope"}},
+	}
+
+	go func() {
+		for _, m := range msgs {
+			if err := client.Send(m); err != nil {
+				return
+			}
+		}
+	}()
+	for _, want := range msgs {
+		got, err := server.Recv()
+		if err != nil {
+			t.Fatalf("recv %s: %v", want.Type, err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("type %s, want %s", got.Type, want.Type)
+		}
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+
+	want := Envelope{Type: TypeHello, Hello: &Hello{ClientID: "c9", DeviceClass: "laptop"}}
+	go func() { _ = client.Send(want) }()
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeHello || got.Hello == nil || got.Hello.ClientID != "c9" {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestRequestResponse(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+
+	go func() {
+		req, err := server.Recv()
+		if err != nil || req.Type != TypeEstimateRequest {
+			_ = server.Send(Envelope{Type: TypeError, Error: &ErrorMsg{Message: "bad"}})
+			return
+		}
+		_ = server.Send(Envelope{Type: TypeEstimateReply, EstimateReply: &EstimateReply{Found: false}})
+	}()
+
+	reply, err := client.Request(Envelope{Type: TypeEstimateRequest,
+		EstimateRequest: &EstimateRequest{Network: radio.NetB, Metric: trace.MetricRTTMs}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TypeEstimateReply || reply.EstimateReply == nil || reply.EstimateReply.Found {
+		t.Fatalf("reply %+v", reply)
+	}
+}
+
+func TestLargeSampleReport(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+
+	samples := make([]trace.Sample, 5000)
+	for i := range samples {
+		samples[i] = trace.Sample{
+			Time: time.Date(2010, 9, 10, 12, 0, i%60, 0, time.UTC),
+			Loc:  geo.Point{Lat: 43.07, Lon: -89.4}, Network: radio.NetB,
+			Metric: trace.MetricRTTMs, Value: float64(i), ClientID: "bulk",
+		}
+	}
+	go func() {
+		_ = client.Send(Envelope{Type: TypeSampleReport,
+			SampleReport: &SampleReport{ClientID: "bulk", Samples: samples}})
+	}()
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.SampleReport.Samples) != 5000 {
+		t.Fatalf("received %d samples", len(got.SampleReport.Samples))
+	}
+}
+
+func TestOversizedMessageRejected(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+
+	// Hand-craft a > MaxMessageBytes line.
+	go func() {
+		raw := `{"type":"error","error":{"message":"` + strings.Repeat("x", MaxMessageBytes) + `"}}` + "\n"
+		nc := client.nc
+		_, _ = nc.Write([]byte(raw))
+	}()
+	_, err := server.Recv()
+	if !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("want ErrMessageTooLarge, got %v", err)
+	}
+}
+
+func TestSendOversizedRejected(t *testing.T) {
+	client, _ := pipePair()
+	defer client.Close()
+	err := client.Send(Envelope{Type: TypeError, Error: &ErrorMsg{Message: strings.Repeat("y", MaxMessageBytes)}})
+	if !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("want ErrMessageTooLarge, got %v", err)
+	}
+}
+
+func TestGarbageRejected(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	go func() { _, _ = client.nc.Write([]byte("this is not json\n")) }()
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("garbage should fail to decode")
+	}
+}
+
+func TestMissingTypeRejected(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	go func() { _, _ = client.nc.Write([]byte("{}\n")) }()
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("missing type should be rejected")
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c := NewConn(nc)
+		defer c.Close()
+		for {
+			e, err := c.Recv()
+			if err != nil {
+				return
+			}
+			_ = c.Send(e) // echo
+		}
+	}()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewConn(nc)
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		reply, err := c.Request(Envelope{Type: TypeSampleAck, SampleAck: &SampleAck{Accepted: i}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.SampleAck.Accepted != i {
+			t.Fatalf("echo mismatch: %d", reply.SampleAck.Accepted)
+		}
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	_ = server.SetDeadline(time.Now().Add(20 * time.Millisecond))
+	if _, err := server.Recv(); err == nil {
+		t.Fatal("expected deadline error")
+	}
+}

@@ -1,0 +1,29 @@
+# WiScape build/test entry points. `make ci` is what every change must
+# pass: vet + build + the full test suite under the race detector (the
+# store/coordinator shutdown paths are race-sensitive).
+GO ?= go
+
+.PHONY: all vet build test race ci bench bench-ingest
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+ci: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Just the persistence-overhead trajectory (in-memory vs WAL ingest).
+bench-ingest:
+	$(GO) test -bench='BenchmarkIngest' -benchmem

@@ -14,8 +14,14 @@ package main
 import (
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // benchOpts is the configuration used by the benchmark suite. Scale 0.5
@@ -132,4 +138,62 @@ func BenchmarkAblationEpochPolicy(b *testing.B) {
 
 func BenchmarkAblationChangeSigmas(b *testing.B) {
 	runExperiment(b, "abl-sigma", experiments.AblationChangeSigmas)
+}
+
+// Persistence overhead: the coordinator's sample ingest hot path with and
+// without the WAL (internal/store), tracking what durability costs per
+// sample under each fsync policy.
+
+// ingestBenchSamples builds a deterministic sample mix across a handful of
+// zones, minute-spaced so epoch arithmetic stays realistic.
+func ingestBenchSamples(n int) []trace.Sample {
+	center := geo.Madison().Center()
+	t0 := time.Date(2010, 9, 6, 9, 0, 0, 0, time.UTC)
+	out := make([]trace.Sample, n)
+	for i := range out {
+		out[i] = trace.Sample{
+			Time:     t0.Add(time.Duration(i) * time.Minute),
+			Loc:      center.Offset(float64(i%4)*90, float64(i%8)*400),
+			Network:  radio.NetB,
+			Metric:   trace.MetricUDPKbps,
+			Value:    900 + float64(i%50),
+			ClientID: "bench",
+		}
+	}
+	return out
+}
+
+func BenchmarkIngestInMemory(b *testing.B) {
+	ctrl := core.NewController(core.DefaultConfig(), geo.Madison().Center())
+	samples := ingestBenchSamples(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Ingest(samples[i%len(samples)])
+	}
+}
+
+func benchmarkIngestWAL(b *testing.B, fsync store.FsyncPolicy) {
+	st, err := store.Open(b.TempDir(), store.Options{Fsync: fsync})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	ctrl := core.NewController(core.DefaultConfig(), geo.Madison().Center())
+	samples := ingestBenchSamples(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smp := samples[i%len(samples)]
+		if _, err := st.Append(smp); err != nil {
+			b.Fatal(err)
+		}
+		ctrl.Ingest(smp)
+	}
+}
+
+func BenchmarkIngestWALFsyncOff(b *testing.B) {
+	benchmarkIngestWAL(b, store.FsyncPolicy{})
+}
+
+func BenchmarkIngestWALFsyncEvery100(b *testing.B) {
+	benchmarkIngestWAL(b, store.FsyncPolicy{EveryRecords: 100})
 }

@@ -3,9 +3,15 @@
 // zone and epoch, ingests reported samples, answers estimate queries, and
 // prints operator alerts (2-sigma changes) as they occur.
 //
+// With -data the coordinator is durable: samples are journaled to a
+// write-ahead log before ingestion, published state is checkpointed on a
+// timer, and a restart recovers checkpoint + WAL tail automatically.
+//
 // Usage:
 //
 //	wiscape-coordinator [-addr 127.0.0.1:7411] [-zone-radius 250] [-seed N]
+//	                    [-data DIR] [-checkpoint-interval 1m]
+//	                    [-fsync off|always|every=N|interval=DUR]
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"repro/internal/coordinator"
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/store"
 )
 
 func main() {
@@ -25,10 +32,21 @@ func main() {
 	zoneRadius := flag.Float64("zone-radius", 250, "zone radius in meters")
 	seed := flag.Uint64("seed", 1, "scheduling seed")
 	taskInterval := flag.Duration("task-interval", 5*time.Minute, "client task cadence")
-	snapshotPath := flag.String("snapshot", "", "restore from and periodically persist controller state here")
+	dataDir := flag.String("data", "", "durable sample store directory (WAL + checkpoints; recovers on start)")
+	ckptInterval := flag.Duration("checkpoint-interval", time.Minute, "checkpoint cadence for -data")
+	fsyncMode := flag.String("fsync", "off", "WAL fsync policy: off | always | every=N | interval=DUR")
+	snapshotPath := flag.String("snapshot", "", "legacy single-file snapshot persistence (superseded by -data)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "coordinator: ", log.LstdFlags)
+
+	fsync, err := store.ParseFsyncPolicy(*fsyncMode)
+	if err != nil {
+		logger.Fatalf("-fsync: %v", err)
+	}
+	if *dataDir != "" && *snapshotPath != "" {
+		logger.Fatalf("-snapshot and -data are mutually exclusive; -data supersedes it")
+	}
 
 	cfg := core.DefaultConfig()
 	cfg.ZoneRadiusM = *zoneRadius
@@ -68,14 +86,22 @@ func main() {
 	}
 
 	srv, err := coordinator.Serve(ctrl, *addr, coordinator.Options{
-		TaskInterval: *taskInterval,
-		Seed:         *seed,
-		Logf:         coordinator.LogTo(logger),
+		TaskInterval:       *taskInterval,
+		Seed:               *seed,
+		DataDir:            *dataDir,
+		CheckpointInterval: *ckptInterval,
+		Fsync:              fsync,
+		Logf:               coordinator.LogTo(logger),
 	})
 	if err != nil {
 		logger.Fatalf("start: %v", err)
 	}
+	// With -data, recovery may have replaced the controller.
+	ctrl = srv.Controller()
 	logger.Printf("listening on %s (zone radius %.0f m)", srv.Addr(), *zoneRadius)
+	if *dataDir != "" {
+		logger.Printf("durable store at %s (checkpoint every %s, fsync %s)", *dataDir, *ckptInterval, fsync)
+	}
 
 	// Drain alerts periodically until interrupted.
 	stop := make(chan os.Signal, 1)

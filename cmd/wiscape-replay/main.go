@@ -2,12 +2,17 @@
 // by wiscape-sim) through a fresh WiScape controller and reports what the
 // framework would have concluded: per-zone records, epochs, and the alerts
 // the 2-sigma rule would have raised. Optionally persists the resulting
-// controller state as a snapshot for a coordinator restart.
+// controller state as a snapshot for a coordinator restart, or — with
+// -data — replays the whole campaign into a durable store directory (WAL +
+// final checkpoint) so a coordinator can cold-start from a prepared
+// dataset.
 //
 // Usage:
 //
 //	wiscape-sim -campaign standalone -days 2 -out trace.csv
 //	wiscape-replay -in trace.csv [-snapshot state.json] [-top 15]
+//	wiscape-replay -in trace.csv -data /var/lib/wiscape
+//	wiscape-coordinator -data /var/lib/wiscape
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geo"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -29,6 +35,8 @@ func main() {
 	format := flag.String("format", "", "input format: csv | jsonl (default: by file extension)")
 	top := flag.Int("top", 15, "zones to print, by sample count")
 	snapshotPath := flag.String("snapshot", "", "write the controller snapshot JSON here")
+	dataDir := flag.String("data", "", "replay into this durable store directory (WAL + final checkpoint)")
+	dataCkpt := flag.Bool("data-checkpoint", true, "write a final checkpoint into -data (false keeps only the WAL, for exact cold-start replay)")
 	zoneRadius := flag.Float64("zone-radius", 250, "zone radius in meters")
 	flag.Parse()
 
@@ -72,7 +80,39 @@ func main() {
 	cfg.ZoneRadiusM = *zoneRadius
 	ctrl := core.NewController(cfg, geo.Madison().Center())
 	t0 := time.Now()
-	ctrl.IngestDataset(ds)
+	if *dataDir != "" {
+		// Mirror the live coordinator's ingest path: journal each sample to
+		// the WAL before the controller sees it, so the directory is a
+		// faithful cold-start image of this replay.
+		st, err := store.Open(*dataDir, store.Options{})
+		if err != nil {
+			log.Fatalf("open data dir: %v", err)
+		}
+		sorted := &trace.Dataset{Name: ds.Name, Samples: append([]trace.Sample(nil), ds.Samples...)}
+		sorted.SortByTime()
+		for _, s := range sorted.Samples {
+			if _, err := st.Append(s); err != nil {
+				log.Fatalf("journal: %v", err)
+			}
+			ctrl.Ingest(s)
+		}
+		if *dataCkpt {
+			last := time.Now()
+			if sorted.Len() > 0 {
+				last = sorted.Samples[sorted.Len()-1].Time
+			}
+			if err := st.Checkpoint(ctrl.Snapshot(last)); err != nil {
+				log.Fatalf("checkpoint: %v", err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			log.Fatalf("close data dir: %v", err)
+		}
+		fmt.Printf("journaled %d samples into %s (final checkpoint: %v)\n",
+			sorted.Len(), *dataDir, *dataCkpt)
+	} else {
+		ctrl.IngestDataset(ds)
+	}
 	fmt.Printf("replayed in %v\n\n", time.Since(t0).Round(time.Millisecond))
 
 	keys := ctrl.Keys()

@@ -17,6 +17,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/radio"
 	"repro/internal/rng"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -34,6 +35,26 @@ type Options struct {
 	// Seed drives the probabilistic task assignment.
 	Seed uint64
 
+	// DataDir enables the durable sample store (internal/store): ingested
+	// samples are journaled to a write-ahead log before the controller sees
+	// them, and the controller's published state is checkpointed on a
+	// timer. On Serve, any existing state in the directory is recovered
+	// (newest valid checkpoint + WAL tail replay) and the recovered
+	// controller replaces the one passed to Serve — read it back via
+	// Server.Controller(). Empty disables persistence.
+	DataDir string
+
+	// CheckpointInterval is the cadence of background checkpoints when
+	// DataDir is set. Zero means the 1-minute default; negative disables
+	// the timer (checkpoints then only happen via CheckpointNow).
+	CheckpointInterval time.Duration
+
+	// CheckpointKeep, Fsync and SegmentMaxBytes tune the store; zero
+	// values take the store's defaults.
+	CheckpointKeep  int
+	Fsync           store.FsyncPolicy
+	SegmentMaxBytes int64
+
 	// Logf receives server diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -47,6 +68,9 @@ func (o *Options) fill() {
 	}
 	if o.TaskInterval <= 0 {
 		o.TaskInterval = 5 * time.Minute
+	}
+	if o.CheckpointInterval == 0 {
+		o.CheckpointInterval = time.Minute
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -64,9 +88,10 @@ type clientState struct {
 
 // Server is a running coordinator.
 type Server struct {
-	ctrl *core.Controller
-	opts Options
-	ln   net.Listener
+	ctrl  *core.Controller
+	opts  Options
+	ln    net.Listener
+	store *store.Store // nil without Options.DataDir
 
 	mu      sync.Mutex
 	clients map[string]*clientState
@@ -74,28 +99,77 @@ type Server struct {
 	r       *rng.Rand
 	closed  bool
 
-	wg sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // Serve starts a coordinator on addr (e.g. "127.0.0.1:0") and returns once
-// it is listening.
+// it is listening. With Options.DataDir set, durable state is recovered
+// first: the newest valid checkpoint replaces ctrl and the WAL tail is
+// replayed into it, so published records and in-progress epochs survive a
+// restart.
 func Serve(ctrl *core.Controller, addr string, opts Options) (*Server, error) {
 	opts.fill()
+	var st *store.Store
+	if opts.DataDir != "" {
+		var err error
+		st, err = store.Open(opts.DataDir, store.Options{
+			SegmentMaxBytes: opts.SegmentMaxBytes,
+			Fsync:           opts.Fsync,
+			CheckpointKeep:  opts.CheckpointKeep,
+			Logf:            opts.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: open store: %w", err)
+		}
+		rec := st.Recovery()
+		if rec.Snapshot != nil {
+			ctrl = core.Restore(*rec.Snapshot)
+		}
+		for _, smp := range rec.Tail {
+			ctrl.Ingest(smp)
+		}
+		if rec.Snapshot != nil || len(rec.Tail) > 0 {
+			opts.Logf("coordinator: recovered from %s: checkpoint lsn %d (%d entries) + %d WAL tail samples",
+				opts.DataDir, rec.CheckpointLSN, recoveredEntries(rec.Snapshot), len(rec.Tail))
+		}
+		if rec.CorruptCheckpoints > 0 || rec.CorruptRecords > 0 || rec.TruncatedBytes > 0 {
+			opts.Logf("coordinator: recovery tolerated damage: %d corrupt checkpoints, %d corrupt WAL records, %d torn bytes truncated",
+				rec.CorruptCheckpoints, rec.CorruptRecords, rec.TruncatedBytes)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if st != nil {
+			_ = st.Close()
+		}
 		return nil, fmt.Errorf("coordinator: listen %s: %w", addr, err)
 	}
 	s := &Server{
 		ctrl:    ctrl,
 		opts:    opts,
 		ln:      ln,
+		store:   st,
 		clients: make(map[string]*clientState),
 		conns:   make(map[net.Conn]struct{}),
 		r:       rng.NewNamed(opts.Seed, "coordinator-tasks"),
+		stop:    make(chan struct{}),
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if st != nil && opts.CheckpointInterval > 0 {
+		s.wg.Add(1)
+		go s.checkpointLoop()
+	}
 	return s, nil
+}
+
+func recoveredEntries(snap *core.Snapshot) int {
+	if snap == nil {
+		return 0
+	}
+	return len(snap.Entries)
 }
 
 // Addr returns the listening address.
@@ -105,8 +179,12 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 func (s *Server) Controller() *core.Controller { return s.ctrl }
 
 // Close stops accepting, closes every active connection (a stalled client
-// must not hold shutdown hostage) and waits for handlers to finish.
+// must not hold shutdown hostage), waits for handlers to finish, then
+// flushes and closes the durable store. Safe to call more than once, and
+// safe against in-flight sample ingests: handlers racing Close either
+// journal their samples before the final flush or observe store.ErrClosed.
 func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.mu.Lock()
 	s.closed = true
 	for nc := range s.conns {
@@ -114,8 +192,43 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	err := s.ln.Close()
+	if errors.Is(err, net.ErrClosed) {
+		err = nil // a second Close is a no-op, not an error
+	}
 	s.wg.Wait()
+	if s.store != nil {
+		if serr := s.store.Close(); err == nil {
+			err = serr
+		}
+	}
 	return err
+}
+
+// checkpointLoop periodically persists the controller's published state.
+func (s *Server) checkpointLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opts.CheckpointInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.CheckpointNow(); err != nil && !errors.Is(err, store.ErrClosed) {
+				s.opts.Logf("coordinator: checkpoint: %v", err)
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// CheckpointNow forces an immediate durable checkpoint of the controller's
+// published state and compacts WAL segments the retained checkpoints
+// cover. It is a no-op without a data dir.
+func (s *Server) CheckpointNow() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.store.Checkpoint(s.ctrl.Snapshot(time.Now()))
 }
 
 // ClientCount returns the number of registered clients.
@@ -220,6 +333,16 @@ func (s *Server) dispatch(req wire.Envelope) (reply wire.Envelope, fatal bool) {
 		for _, smp := range sr.Samples {
 			if smp.ClientID == "" {
 				smp.ClientID = sr.ClientID
+			}
+			// Journal before the controller sees the sample: anything the
+			// estimator state reflects is recoverable from disk.
+			if s.store != nil {
+				if _, err := s.store.Append(smp); err != nil {
+					if errors.Is(err, store.ErrClosed) {
+						return errEnvelope("coordinator shutting down"), true
+					}
+					return errEnvelope(fmt.Sprintf("journal write failed: %v", err)), true
+				}
 			}
 			s.ctrl.Ingest(smp)
 			accepted++

@@ -14,7 +14,10 @@ import (
 // and in-progress epoch accumulators are deliberately excluded — they are
 // rebuilt from fresh samples after a restart, while the published records
 // keep serving queries immediately (a coordinator restart must not blind
-// every application).
+// every application). Snapshots are the checkpoint payload of the durable
+// store (internal/store), which pairs them with a write-ahead log of raw
+// samples so the accumulator state excluded here is reconstructed by
+// replaying the WAL tail on recovery.
 type Snapshot struct {
 	TakenAt time.Time       `json:"taken_at"`
 	Config  Config          `json:"config"`

@@ -1,0 +1,385 @@
+// Package store implements the coordinator's durability subsystem: an
+// append-only write-ahead log (WAL) of ingested samples plus periodic
+// checkpoints of the controller's published state. Together they let a
+// coordinator restart recover exactly where it left off — the checkpoint
+// restores published records and epochs instantly, and replaying the WAL
+// tail (records newer than the checkpoint) rebuilds in-progress epoch
+// accumulators — so a restart never blinds querying applications.
+//
+// Layout of a data directory:
+//
+//	wal-<firstLSN>.seg       append-only sample journal segments
+//	checkpoint-<lsn>.ckpt    controller snapshots; <lsn> is the last WAL
+//	                         record the snapshot covers
+//
+// Every WAL record is one line: an 8-hex-digit CRC32 (IEEE) of the JSON
+// payload, a space, and the payload {"lsn":N,"sample":{...}}. Line framing
+// means one corrupt record never hides its successors, and a torn tail (a
+// crash mid-write) is detected and truncated on recovery instead of
+// refusing to start. Segments rotate by size; compaction deletes segments
+// wholly covered by the oldest *retained* checkpoint, so falling back to
+// an older checkpoint when the newest is corrupt never loses records.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// FsyncPolicy controls when the WAL is flushed to stable storage. The zero
+// value never fsyncs (the OS page cache decides): fastest, but a machine
+// crash can lose recent records. EveryRecords trades latency for a bounded
+// loss window in records; Interval bounds the loss window in time.
+type FsyncPolicy struct {
+	EveryRecords int           // fsync after every N appended records (0 = disabled)
+	Interval     time.Duration // background fsync at least every T (0 = disabled)
+}
+
+// Enabled reports whether any fsync is configured.
+func (p FsyncPolicy) Enabled() bool { return p.EveryRecords > 0 || p.Interval > 0 }
+
+// String renders the policy in the flag syntax accepted by ParseFsyncPolicy.
+func (p FsyncPolicy) String() string {
+	switch {
+	case p.EveryRecords == 1:
+		return "always"
+	case p.EveryRecords > 0:
+		return fmt.Sprintf("every=%d", p.EveryRecords)
+	case p.Interval > 0:
+		return fmt.Sprintf("interval=%s", p.Interval)
+	}
+	return "off"
+}
+
+// ParseFsyncPolicy parses the -fsync flag syntax:
+// "off" | "always" | "every=N" | "interval=DURATION".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch {
+	case s == "" || s == "off":
+		return FsyncPolicy{}, nil
+	case s == "always":
+		return FsyncPolicy{EveryRecords: 1}, nil
+	case strings.HasPrefix(s, "every="):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "every="))
+		if err != nil || n <= 0 {
+			return FsyncPolicy{}, fmt.Errorf("store: bad fsync policy %q: want every=N with N>0", s)
+		}
+		return FsyncPolicy{EveryRecords: n}, nil
+	case strings.HasPrefix(s, "interval="):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "interval="))
+		if err != nil || d <= 0 {
+			return FsyncPolicy{}, fmt.Errorf("store: bad fsync policy %q: want interval=DURATION", s)
+		}
+		return FsyncPolicy{Interval: d}, nil
+	}
+	return FsyncPolicy{}, fmt.Errorf("store: unknown fsync policy %q (off | always | every=N | interval=DUR)", s)
+}
+
+// Options configures a Store.
+type Options struct {
+	// SegmentMaxBytes rotates the active WAL segment once it exceeds this
+	// size. Default 4 MiB.
+	SegmentMaxBytes int64
+
+	// Fsync is the WAL durability policy. Default: off.
+	Fsync FsyncPolicy
+
+	// CheckpointKeep is how many checkpoints to retain. Default 3: the
+	// newest can be torn by a crash mid-rename-window or corrupted by the
+	// disk, and recovery falls back to an older one.
+	CheckpointKeep int
+
+	// Logf receives store diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.SegmentMaxBytes <= 0 {
+		o.SegmentMaxBytes = 4 << 20
+	}
+	if o.CheckpointKeep <= 0 {
+		o.CheckpointKeep = 3
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// walRecord is the JSON payload of one WAL line.
+type walRecord struct {
+	LSN    uint64       `json:"lsn"`
+	Sample trace.Sample `json:"sample"`
+}
+
+// Store is a durable sample journal plus checkpoint manager. All methods
+// are safe for concurrent use; Close is idempotent.
+type Store struct {
+	dir      string
+	opts     Options
+	recovery Recovery
+
+	mu       sync.Mutex
+	f        *os.File // active WAL segment
+	segFirst uint64   // first LSN of the active segment
+	segSize  int64
+	nextLSN  uint64
+	unsynced int // records appended since the last fsync
+	closed   bool
+	buf      []byte // line assembly scratch, reused across Appends
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open opens (creating if needed) a data directory, runs crash recovery
+// over its contents, and starts a fresh WAL segment for new appends. The
+// outcome of recovery — newest valid checkpoint plus the WAL tail to
+// replay — is available via Recovery.
+func Open(dir string, opts Options) (*Store, error) {
+	opts.fill()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	rec, nextLSN, err := recoverDir(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		dir:      dir,
+		opts:     opts,
+		recovery: rec,
+		nextLSN:  nextLSN,
+		stop:     make(chan struct{}),
+	}
+	if err := st.openSegmentLocked(st.nextLSN); err != nil {
+		return nil, err
+	}
+	if opts.Fsync.Interval > 0 {
+		st.wg.Add(1)
+		go st.syncLoop()
+	}
+	return st, nil
+}
+
+// Recovery returns what Open found in the data directory.
+func (st *Store) Recovery() Recovery { return st.recovery }
+
+// Dir returns the data directory.
+func (st *Store) Dir() string { return st.dir }
+
+// LastLSN returns the sequence number of the most recently appended
+// record (0 if none yet).
+func (st *Store) LastLSN() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.nextLSN - 1
+}
+
+// segName returns the path of the segment whose first record is lsn.
+func (st *Store) segName(lsn uint64) string {
+	return filepath.Join(st.dir, fmt.Sprintf("%s%016d%s", segPrefix, lsn, segSuffix))
+}
+
+// openSegmentLocked starts a fresh active segment beginning at first.
+// O_TRUNC is safe: a same-named file can only be a leftover empty (or
+// fully invalid, already truncated by recovery) segment — any valid record
+// in it would have advanced nextLSN past first.
+func (st *Store) openSegmentLocked(first uint64) error {
+	f, err := os.OpenFile(st.segName(first), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening segment: %w", err)
+	}
+	st.f = f
+	st.segFirst = first
+	st.segSize = 0
+	return nil
+}
+
+// rotateLocked seals the active segment and starts a new one at next.
+func (st *Store) rotateLocked(next uint64) error {
+	if st.opts.Fsync.Enabled() && st.unsynced > 0 {
+		if err := st.f.Sync(); err != nil {
+			return fmt.Errorf("store: fsync on rotation: %w", err)
+		}
+		st.unsynced = 0
+	}
+	if err := st.f.Close(); err != nil {
+		return fmt.Errorf("store: sealing segment: %w", err)
+	}
+	return st.openSegmentLocked(next)
+}
+
+// Append journals one sample and returns its sequence number. The write
+// reaches the OS before Append returns; it reaches the disk per the
+// configured FsyncPolicy.
+func (st *Store) Append(smp trace.Sample) (uint64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return 0, ErrClosed
+	}
+	lsn := st.nextLSN
+	payload, err := json.Marshal(walRecord{LSN: lsn, Sample: smp})
+	if err != nil {
+		return 0, fmt.Errorf("store: encoding sample: %w", err)
+	}
+	if st.segSize >= st.opts.SegmentMaxBytes {
+		if err := st.rotateLocked(lsn); err != nil {
+			return 0, err
+		}
+	}
+	st.buf = appendRecordLine(st.buf[:0], payload)
+	if _, err := st.f.Write(st.buf); err != nil {
+		return 0, fmt.Errorf("store: appending record %d: %w", lsn, err)
+	}
+	st.segSize += int64(len(st.buf))
+	st.nextLSN = lsn + 1
+	st.unsynced++
+	if n := st.opts.Fsync.EveryRecords; n > 0 && st.unsynced >= n {
+		if err := st.f.Sync(); err != nil {
+			return 0, fmt.Errorf("store: fsync: %w", err)
+		}
+		st.unsynced = 0
+	}
+	return lsn, nil
+}
+
+// appendRecordLine frames one WAL line: "crc32hex payload\n".
+func appendRecordLine(buf, payload []byte) []byte {
+	crc := crc32.ChecksumIEEE(payload)
+	const hexdig = "0123456789abcdef"
+	for shift := 28; shift >= 0; shift -= 4 {
+		buf = append(buf, hexdig[(crc>>uint(shift))&0xf])
+	}
+	buf = append(buf, ' ')
+	buf = append(buf, payload...)
+	return append(buf, '\n')
+}
+
+// Sync forces the WAL to stable storage regardless of policy.
+func (st *Store) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if err := st.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	st.unsynced = 0
+	return nil
+}
+
+// Checkpoint atomically persists snap as the newest checkpoint, covering
+// every record appended so far, then compacts: WAL segments wholly covered
+// by the oldest retained checkpoint and checkpoints beyond CheckpointKeep
+// are deleted.
+func (st *Store) Checkpoint(snap core.Snapshot) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	lsn := st.nextLSN - 1
+	if err := writeCheckpoint(st.dir, lsn, snap); err != nil {
+		return err
+	}
+	st.compactLocked()
+	return nil
+}
+
+// compactLocked deletes checkpoints beyond CheckpointKeep and WAL segments
+// wholly covered by the oldest retained checkpoint. Coverage is judged
+// against the oldest retained checkpoint — not the newest — so recovery's
+// fallback chain never points at deleted records.
+func (st *Store) compactLocked() {
+	cks, err := listCheckpoints(st.dir)
+	if err != nil || len(cks) == 0 {
+		return
+	}
+	keep := st.opts.CheckpointKeep
+	if keep > len(cks) {
+		keep = len(cks)
+	}
+	for _, ck := range cks[keep:] {
+		if err := os.Remove(ck.path); err != nil {
+			st.opts.Logf("store: removing old checkpoint %s: %v", ck.path, err)
+		}
+	}
+	covered := cks[keep-1].lsn // oldest retained checkpoint
+	segs, err := listSegments(st.dir)
+	if err != nil {
+		return
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i].first == st.segFirst {
+			continue // never delete the active segment
+		}
+		// A sealed segment's records all precede the next segment's first
+		// LSN; it is disposable once the checkpoint covers them all.
+		if segs[i+1].first <= covered+1 {
+			if err := os.Remove(segs[i].path); err != nil {
+				st.opts.Logf("store: compacting segment %s: %v", segs[i].path, err)
+			}
+		}
+	}
+}
+
+// syncLoop is the interval-fsync policy's background flusher.
+func (st *Store) syncLoop() {
+	defer st.wg.Done()
+	t := time.NewTicker(st.opts.Fsync.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			st.mu.Lock()
+			if !st.closed && st.unsynced > 0 {
+				if err := st.f.Sync(); err != nil {
+					st.opts.Logf("store: interval fsync: %v", err)
+				}
+				st.unsynced = 0
+			}
+			st.mu.Unlock()
+		case <-st.stop:
+			return
+		}
+	}
+}
+
+// Close flushes the WAL to disk and closes the store. It is idempotent and
+// safe to call concurrently with Append: in-flight appends either complete
+// before the flush or observe ErrClosed.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	st.closed = true
+	close(st.stop)
+	err := st.f.Sync() // a graceful shutdown always leaves a durable WAL
+	if cerr := st.f.Close(); err == nil {
+		err = cerr
+	}
+	st.mu.Unlock()
+	st.wg.Wait()
+	if err != nil {
+		return fmt.Errorf("store: close: %w", err)
+	}
+	return nil
+}

@@ -21,8 +21,9 @@ race:
 
 ci: vet build race
 
+# All benchmarks, repo-wide, without re-running unit tests alongside them.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # Just the persistence-overhead trajectory (in-memory vs WAL ingest).
 bench-ingest:

@@ -6,9 +6,15 @@
 // Usage:
 //
 //	wiscape-agent -addr 127.0.0.1:7411 -id bus-1 -track bus [-days 1] [-seed N]
+//	              [-ops-addr 127.0.0.1:9091]
 //
 // Tracks: "bus" (Madison transit), "intercity" (Madison-Chicago), "car"
 // (short road segment loop), "static" (campus site).
+//
+// With -ops-addr the agent serves its own telemetry (reconnects, rounds,
+// tasks executed, samples sent, report failures, wire codec counters) at
+// /metrics, plus /healthz and pprof — the client-side half of the
+// monitoring story.
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/mobility"
 	"repro/internal/radio"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -32,9 +39,25 @@ func main() {
 	interval := flag.Duration("interval", 5*time.Minute, "zone-report cadence (simulated)")
 	seed := flag.Uint64("seed", 1, "environment/measurement seed")
 	zoneRadius := flag.Float64("zone-radius", 250, "zone radius (must match coordinator)")
+	opsAddr := flag.String("ops-addr", "", "agent ops HTTP plane address (/metrics, /healthz, pprof); empty disables")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "agent: ", log.LstdFlags)
+
+	var met *agent.Metrics
+	if *opsAddr != "" {
+		reg := telemetry.NewRegistry()
+		met = agent.NewMetrics(reg)
+		ops, err := telemetry.NewOpsServer(*opsAddr, telemetry.OpsOptions{
+			Registry: reg,
+			Logf:     func(format string, args ...any) { logger.Printf(format, args...) },
+		})
+		if err != nil {
+			logger.Fatalf("ops plane: %v", err)
+		}
+		defer ops.Close()
+		logger.Printf("ops plane at http://%s", ops.Addr())
+	}
 
 	var track mobility.Track
 	switch *trackKind {
@@ -59,6 +82,7 @@ func main() {
 		Networks:    radio.AllNetworks,
 		Seed:        *seed,
 		Grid:        geo.GridForZoneRadius(geo.Madison().Center(), *zoneRadius),
+		Telemetry:   met,
 	}
 
 	start := radio.Epoch.Add(14 * 24 * time.Hour)

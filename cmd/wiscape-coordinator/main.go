@@ -7,11 +7,17 @@
 // write-ahead log before ingestion, published state is checkpointed on a
 // timer, and a restart recovers checkpoint + WAL tail automatically.
 //
+// With -ops-addr the coordinator exposes its operations HTTP plane:
+// Prometheus /metrics (plus /metrics.json), /healthz and /readyz probes,
+// net/http/pprof under /debug/pprof/, and the read-only zone query API at
+// /api/v1/zones and /api/v1/zones/{x:y}.
+//
 // Usage:
 //
 //	wiscape-coordinator [-addr 127.0.0.1:7411] [-zone-radius 250] [-seed N]
 //	                    [-data DIR] [-checkpoint-interval 1m]
 //	                    [-fsync off|always|every=N|interval=DUR]
+//	                    [-ops-addr 127.0.0.1:9090]
 package main
 
 import (
@@ -35,6 +41,7 @@ func main() {
 	dataDir := flag.String("data", "", "durable sample store directory (WAL + checkpoints; recovers on start)")
 	ckptInterval := flag.Duration("checkpoint-interval", time.Minute, "checkpoint cadence for -data")
 	fsyncMode := flag.String("fsync", "off", "WAL fsync policy: off | always | every=N | interval=DUR")
+	opsAddr := flag.String("ops-addr", "", "ops HTTP plane address (/metrics, /healthz, /readyz, pprof, /api/v1/zones); empty disables")
 	snapshotPath := flag.String("snapshot", "", "legacy single-file snapshot persistence (superseded by -data)")
 	flag.Parse()
 
@@ -91,6 +98,7 @@ func main() {
 		DataDir:            *dataDir,
 		CheckpointInterval: *ckptInterval,
 		Fsync:              fsync,
+		OpsAddr:            *opsAddr,
 		Logf:               coordinator.LogTo(logger),
 	})
 	if err != nil {
@@ -101,6 +109,9 @@ func main() {
 	logger.Printf("listening on %s (zone radius %.0f m)", srv.Addr(), *zoneRadius)
 	if *dataDir != "" {
 		logger.Printf("durable store at %s (checkpoint every %s, fsync %s)", *dataDir, *ckptInterval, fsync)
+	}
+	if *opsAddr != "" {
+		logger.Printf("ops plane at http://%s (/metrics, /healthz, /readyz, /debug/pprof/, /api/v1/zones)", srv.OpsAddr())
 	}
 
 	// Drain alerts periodically until interrupted.

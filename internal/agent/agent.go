@@ -16,9 +16,61 @@ import (
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
+
+// Metrics counts client-side protocol activity. All fields are nil-safe,
+// so the zero value (and a nil *Metrics) is free; see internal/telemetry.
+type Metrics struct {
+	Reconnects     *telemetry.Counter
+	Rounds         *telemetry.Counter
+	TasksExecuted  *telemetry.Counter
+	SamplesSent    *telemetry.Counter
+	ReportFailures *telemetry.Counter
+
+	// Wire carries codec counters shared by every connection the agent
+	// opens.
+	Wire *wire.Metrics
+}
+
+// NewMetrics registers the agent families on reg (nil reg gives a valid
+// no-op Metrics) and resolves their series once.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		Reconnects: reg.Counter("wiscape_agent_reconnects_total",
+			"Redials after a dropped coordinator connection.").With(),
+		Rounds: reg.Counter("wiscape_agent_rounds_total",
+			"Zone-report rounds completed.").With(),
+		TasksExecuted: reg.Counter("wiscape_agent_tasks_executed_total",
+			"Measurement tasks executed.").With(),
+		SamplesSent: reg.Counter("wiscape_agent_samples_sent_total",
+			"Samples acknowledged by the coordinator.").With(),
+		ReportFailures: reg.Counter("wiscape_agent_report_failures_total",
+			"Protocol round trips that failed (hello, zone report, or sample upload).").With(),
+		Wire: wire.NewMetrics(reg),
+	}
+}
+
+func (m *Metrics) wireMetrics() *wire.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.Wire
+}
+
+func (m *Metrics) reconnect() {
+	if m != nil {
+		m.Reconnects.Inc()
+	}
+}
+
+func (m *Metrics) reportFailure() {
+	if m != nil {
+		m.ReportFailures.Inc()
+	}
+}
 
 // Agent is one WiScape client device.
 type Agent struct {
@@ -32,6 +84,10 @@ type Agent struct {
 	// Grid must match the coordinator's zone grid (derived from the same
 	// origin and radius).
 	Grid *geo.Grid
+
+	// Telemetry, when non-nil, receives client-side metrics (build one
+	// with NewMetrics). Nil runs uninstrumented at zero cost.
+	Telemetry *Metrics
 }
 
 // Stats summarizes one agent run, including the client-side cost WiScape
@@ -66,7 +122,7 @@ func (a *Agent) Run(addr string, start time.Time, duration, interval time.Durati
 	if err != nil {
 		return Stats{}, fmt.Errorf("agent %s: dial: %w", a.ID, err)
 	}
-	conn := wire.NewConn(nc)
+	conn := wire.NewConn(nc).Instrument(a.Telemetry.wireMetrics())
 	defer conn.Close()
 	return a.RunConn(conn, start, duration, interval)
 }
@@ -80,7 +136,12 @@ func (a *Agent) RunResilient(addr string, start time.Time, duration, interval ti
 	cursor := start
 	end := start.Add(duration)
 	retries := 0
+	first := true
 	for cursor.Before(end) {
+		if !first {
+			a.Telemetry.reconnect()
+		}
+		first = false
 		st, next, err := a.runOnce(addr, cursor, end, interval)
 		total.Rounds += st.Rounds
 		total.TasksExecuted += st.TasksExecuted
@@ -112,7 +173,7 @@ func (a *Agent) runOnce(addr string, cursor, end time.Time, interval time.Durati
 	if err != nil {
 		return Stats{}, cursor, fmt.Errorf("agent %s: dial: %w", a.ID, err)
 	}
-	conn := wire.NewConn(nc)
+	conn := wire.NewConn(nc).Instrument(a.Telemetry.wireMetrics())
 	defer conn.Close()
 	st, err := a.RunConn(conn, cursor, end.Sub(cursor), interval)
 	progressed := time.Duration(st.Rounds+st.Skipped) * interval
@@ -132,9 +193,11 @@ func (a *Agent) RunConn(conn *wire.Conn, start time.Time, duration, interval tim
 		DeviceClass: a.DeviceClass,
 	}})
 	if err != nil {
+		a.Telemetry.reportFailure()
 		return st, fmt.Errorf("agent %s: hello: %w", a.ID, err)
 	}
 	if reply.Type != wire.TypeHelloAck {
+		a.Telemetry.reportFailure()
 		return st, fmt.Errorf("agent %s: unexpected hello reply %q", a.ID, reply.Type)
 	}
 
@@ -162,10 +225,15 @@ func (a *Agent) RunConn(conn *wire.Conn, start time.Time, duration, interval tim
 			Networks: a.Networks,
 		}})
 		if err != nil {
+			a.Telemetry.reportFailure()
 			return st, fmt.Errorf("agent %s: zone report: %w", a.ID, err)
 		}
 		if reply.Type != wire.TypeTaskList {
+			a.Telemetry.reportFailure()
 			return st, fmt.Errorf("agent %s: unexpected zone reply %q", a.ID, reply.Type)
+		}
+		if a.Telemetry != nil {
+			a.Telemetry.Rounds.Inc()
 		}
 		tasks := reply.TaskList.Tasks
 		if len(tasks) == 0 {
@@ -175,6 +243,9 @@ func (a *Agent) RunConn(conn *wire.Conn, start time.Time, duration, interval tim
 		st.TasksExecuted += len(tasks)
 		st.MeasurementBytes += bytes
 		st.MeasurementAirtime += airtime
+		if a.Telemetry != nil {
+			a.Telemetry.TasksExecuted.Add(float64(len(tasks)))
+		}
 		if len(samples) == 0 {
 			continue
 		}
@@ -183,12 +254,17 @@ func (a *Agent) RunConn(conn *wire.Conn, start time.Time, duration, interval tim
 			Samples:  samples,
 		}})
 		if err != nil {
+			a.Telemetry.reportFailure()
 			return st, fmt.Errorf("agent %s: sample report: %w", a.ID, err)
 		}
 		if ack.Type != wire.TypeSampleAck {
+			a.Telemetry.reportFailure()
 			return st, fmt.Errorf("agent %s: unexpected sample reply %q", a.ID, ack.Type)
 		}
 		st.SamplesSent += ack.SampleAck.Accepted
+		if a.Telemetry != nil {
+			a.Telemetry.SamplesSent.Add(float64(ack.SampleAck.Accepted))
+		}
 	}
 	return st, nil
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"slices"
 	"sync"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -55,6 +57,18 @@ type Options struct {
 	Fsync           store.FsyncPolicy
 	SegmentMaxBytes int64
 
+	// Telemetry receives coordinator, store and wire metrics. Nil (the
+	// default) disables instrumentation entirely — existing library users
+	// pay nothing and configure nothing.
+	Telemetry *telemetry.Registry
+
+	// OpsAddr, when non-empty, starts the operations HTTP plane on that
+	// address (e.g. "127.0.0.1:9090"): /metrics, /metrics.json, /healthz,
+	// /readyz, net/http/pprof, and the read-only /api/v1/zones query API.
+	// If Telemetry is nil a private registry is created for it, so
+	// OpsAddr alone is enough to get a fully instrumented server.
+	OpsAddr string
+
 	// Logf receives server diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -62,6 +76,9 @@ type Options struct {
 func (o *Options) fill() {
 	if len(o.Networks) == 0 {
 		o.Networks = radio.AllNetworks
+	}
+	if o.Telemetry == nil && o.OpsAddr != "" {
+		o.Telemetry = telemetry.NewRegistry()
 	}
 	if len(o.Metrics) == 0 {
 		o.Metrics = []trace.Metric{trace.MetricUDPKbps, trace.MetricRTTMs}
@@ -91,7 +108,9 @@ type Server struct {
 	ctrl  *core.Controller
 	opts  Options
 	ln    net.Listener
-	store *store.Store // nil without Options.DataDir
+	store *store.Store         // nil without Options.DataDir
+	ops   *telemetry.OpsServer // nil without Options.OpsAddr
+	met   *coordMetrics
 
 	mu      sync.Mutex
 	clients map[string]*clientState
@@ -118,6 +137,7 @@ func Serve(ctrl *core.Controller, addr string, opts Options) (*Server, error) {
 			SegmentMaxBytes: opts.SegmentMaxBytes,
 			Fsync:           opts.Fsync,
 			CheckpointKeep:  opts.CheckpointKeep,
+			Telemetry:       opts.Telemetry,
 			Logf:            opts.Logf,
 		})
 		if err != nil {
@@ -156,6 +176,24 @@ func Serve(ctrl *core.Controller, addr string, opts Options) (*Server, error) {
 		r:       rng.NewNamed(opts.Seed, "coordinator-tasks"),
 		stop:    make(chan struct{}),
 	}
+	s.met = newCoordMetrics(opts.Telemetry, s.ClientCount)
+	if opts.OpsAddr != "" {
+		ops, err := telemetry.NewOpsServer(opts.OpsAddr, telemetry.OpsOptions{
+			Registry: opts.Telemetry,
+			Ready:    s.ready,
+			Logf:     opts.Logf,
+		})
+		if err != nil {
+			_ = ln.Close()
+			if st != nil {
+				_ = st.Close()
+			}
+			return nil, fmt.Errorf("coordinator: %w", err)
+		}
+		s.ops = ops
+		s.installOpsEndpoints(ops)
+		opts.Logf("coordinator: ops plane listening on %s", ops.Addr())
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if st != nil && opts.CheckpointInterval > 0 {
@@ -163,6 +201,14 @@ func Serve(ctrl *core.Controller, addr string, opts Options) (*Server, error) {
 		go s.checkpointLoop()
 	}
 	return s, nil
+}
+
+// ready backs /readyz: the coordinator is ready from the moment Serve
+// returns (recovery done, listener up) until Close begins.
+func (s *Server) ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.closed
 }
 
 func recoveredEntries(snap *core.Snapshot) int {
@@ -175,14 +221,22 @@ func recoveredEntries(snap *core.Snapshot) int {
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// OpsAddr returns the ops HTTP plane's bound address, "" when disabled.
+func (s *Server) OpsAddr() string { return s.ops.Addr() }
+
+// Telemetry returns the metrics registry backing this server (nil when the
+// server is uninstrumented).
+func (s *Server) Telemetry() *telemetry.Registry { return s.opts.Telemetry }
+
 // Controller exposes the underlying estimator state.
 func (s *Server) Controller() *core.Controller { return s.ctrl }
 
 // Close stops accepting, closes every active connection (a stalled client
-// must not hold shutdown hostage), waits for handlers to finish, then
-// flushes and closes the durable store. Safe to call more than once, and
-// safe against in-flight sample ingests: handlers racing Close either
-// journal their samples before the final flush or observe store.ErrClosed.
+// must not hold shutdown hostage), waits for handlers to finish, drains
+// the ops HTTP plane, then flushes and closes the durable store. Safe to
+// call more than once, and safe against in-flight sample ingests: handlers
+// racing Close either journal their samples before the final flush or
+// observe store.ErrClosed.
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
 	s.mu.Lock()
@@ -196,6 +250,12 @@ func (s *Server) Close() error {
 		err = nil // a second Close is a no-op, not an error
 	}
 	s.wg.Wait()
+	// Ops plane drains after the protocol handlers: an in-flight scrape
+	// still observes the final counter values. Close is graceful (bounded)
+	// and idempotent.
+	if oerr := s.ops.Close(); err == nil {
+		err = oerr
+	}
 	if s.store != nil {
 		if serr := s.store.Close(); err == nil {
 			err = serr
@@ -275,17 +335,25 @@ func (s *Server) handle(nc net.Conn) {
 		delete(s.conns, nc)
 		s.mu.Unlock()
 	}()
-	c := wire.NewConn(nc)
+	s.met.connsAccepted.Inc()
+	c := wire.NewConn(nc).Instrument(s.met.wire)
 	defer c.Close()
 	for {
 		req, err := c.Recv()
 		if err != nil {
 			if errors.Is(err, wire.ErrMessageTooLarge) {
+				s.met.protoErrors.Inc()
 				_ = c.Send(errEnvelope("message too large"))
 			}
 			return
 		}
+		s.met.request(req.Type).Inc()
+		t0 := time.Now()
 		reply, fatal := s.dispatch(req)
+		s.met.dispatchSec.Observe(time.Since(t0).Seconds())
+		if reply.Type == wire.TypeError {
+			s.met.protoErrors.Inc()
+		}
 		if err := c.Send(reply); err != nil {
 			return
 		}
@@ -321,7 +389,9 @@ func (s *Server) dispatch(req wire.Envelope) (reply wire.Envelope, fatal bool) {
 		if zr == nil || zr.ClientID == "" {
 			return errEnvelope("zone report requires a client id"), true
 		}
+		s.met.zoneReports.Inc()
 		tasks := s.assignTasks(zr)
+		s.met.tasksAssigned.Add(float64(len(tasks)))
 		return wire.Envelope{Type: wire.TypeTaskList, TaskList: &wire.TaskList{Tasks: tasks}}, false
 
 	case wire.TypeSampleReport:
@@ -347,6 +417,7 @@ func (s *Server) dispatch(req wire.Envelope) (reply wire.Envelope, fatal bool) {
 			s.ctrl.Ingest(smp)
 			accepted++
 		}
+		s.met.samplesIngested.Add(float64(accepted))
 		return wire.Envelope{Type: wire.TypeSampleAck, SampleAck: &wire.SampleAck{Accepted: accepted}}, false
 
 	case wire.TypeZoneListRequest:
@@ -405,7 +476,7 @@ func (s *Server) assignTasks(zr *wire.ZoneReport) []wire.Task {
 		clientNets = s.opts.Networks
 	}
 	for _, net := range s.opts.Networks {
-		if !contains(clientNets, net) {
+		if !slices.Contains(clientNets, net) {
 			continue
 		}
 		for _, metric := range s.opts.Metrics {
@@ -435,15 +506,6 @@ func (s *Server) assignTasks(zr *wire.ZoneReport) []wire.Task {
 		}
 	}
 	return tasks
-}
-
-func contains(nets []radio.NetworkID, n radio.NetworkID) bool {
-	for _, x := range nets {
-		if x == n {
-			return true
-		}
-	}
-	return false
 }
 
 // LogTo returns an Options.Logf writing to the standard logger, for the

@@ -1,0 +1,72 @@
+package coordinator
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// coordMetrics holds the coordinator's resolved telemetry instruments.
+// Every field is nil-safe, so the request path updates them
+// unconditionally; a coordinator without a registry pays nothing.
+type coordMetrics struct {
+	samplesIngested *telemetry.Counter
+	zoneReports     *telemetry.Counter
+	tasksAssigned   *telemetry.Counter
+	dispatchSec     *telemetry.Histogram
+	protoErrors     *telemetry.Counter
+	connsAccepted   *telemetry.Counter
+
+	// requests is pre-resolved per known message type (label lookups take
+	// a lock; the dispatch path must not), with a catch-all for unknowns.
+	requests      map[wire.MsgType]*telemetry.Counter
+	requestsOther *telemetry.Counter
+
+	wire *wire.Metrics
+}
+
+// newCoordMetrics registers the coordinator families on reg. The
+// active-clients gauge is computed at scrape time from the live registry
+// via clientCount, so there is no update site to forget.
+func newCoordMetrics(reg *telemetry.Registry, clientCount func() int) *coordMetrics {
+	reg.GaugeFunc("wiscape_coordinator_active_clients",
+		"Clients currently registered with the coordinator.",
+		func() float64 { return float64(clientCount()) })
+	reqs := reg.Counter("wiscape_coordinator_requests_total",
+		"Protocol requests dispatched, by message type.", "type")
+	byType := make(map[wire.MsgType]*telemetry.Counter)
+	for _, t := range []wire.MsgType{
+		wire.TypeHello, wire.TypeZoneReport, wire.TypeSampleReport,
+		wire.TypeEstimateRequest, wire.TypeZoneListRequest,
+	} {
+		byType[t] = reqs.With(string(t))
+	}
+	return &coordMetrics{
+		samplesIngested: reg.Counter("wiscape_coordinator_samples_ingested_total",
+			"Measurement samples accepted into the controller.").With(),
+		zoneReports: reg.Counter("wiscape_coordinator_zone_reports_total",
+			"Zone reports received from clients.").With(),
+		tasksAssigned: reg.Counter("wiscape_coordinator_tasks_assigned_total",
+			"Measurement tasks handed out by the probabilistic scheduler.").With(),
+		dispatchSec: reg.Histogram("wiscape_coordinator_dispatch_seconds",
+			"Request dispatch latency (decode excluded, encode excluded).", nil).With(),
+		protoErrors: reg.Counter("wiscape_coordinator_protocol_errors_total",
+			"Requests answered with a protocol error.").With(),
+		connsAccepted: reg.Counter("wiscape_coordinator_connections_total",
+			"Client connections accepted.").With(),
+		requests:      byType,
+		requestsOther: reqs.With("other"),
+		wire:          wire.NewMetrics(reg),
+	}
+}
+
+// request returns the per-type request counter (nil-safe on a nil
+// receiver, for uninstrumented servers).
+func (m *coordMetrics) request(t wire.MsgType) *telemetry.Counter {
+	if m == nil {
+		return nil
+	}
+	if c, ok := m.requests[t]; ok {
+		return c
+	}
+	return m.requestsOther
+}

@@ -1,0 +1,141 @@
+package coordinator
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// ZoneEstimate is the ops-plane JSON view of one zone statistic: what an
+// operator (or a dashboard) sees when asking a live coordinator what it
+// currently believes about a zone.
+type ZoneEstimate struct {
+	Zone    string          `json:"zone"` // "x:y", the ZoneID rendering
+	Network radio.NetworkID `json:"network"`
+	Metric  trace.Metric    `json:"metric"`
+
+	Mean    float64 `json:"mean"`
+	StdDev  float64 `json:"stddev"`
+	Samples int64   `json:"samples"`
+
+	// EpochSeconds is the zone's current estimation epoch length;
+	// TotalSamples counts every sample ever ingested for the key.
+	EpochSeconds float64 `json:"epoch_seconds"`
+	TotalSamples int64   `json:"total_samples"`
+
+	// UpdatedAt is when the estimate was last published (the zero time
+	// while the first epoch is still accumulating); StalenessSeconds is
+	// its age at query time, -1 when never published.
+	UpdatedAt        time.Time `json:"updated_at"`
+	StalenessSeconds float64   `json:"staleness_seconds"`
+}
+
+// zonesReply is the /api/v1/zones response envelope.
+type zonesReply struct {
+	GeneratedAt time.Time      `json:"generated_at"`
+	Estimates   []ZoneEstimate `json:"estimates"`
+}
+
+// installOpsEndpoints wires the coordinator's read-only query API onto the
+// ops server:
+//
+//	GET /api/v1/zones                 all live estimates
+//	GET /api/v1/zones?network=N&metric=M   filtered
+//	GET /api/v1/zones/{id}            one zone ("x:y"), 404 if unknown
+func (s *Server) installOpsEndpoints(ops *telemetry.OpsServer) {
+	ops.HandleFunc("GET /api/v1/zones", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		ests := s.zoneEstimates(nil, radio.NetworkID(q.Get("network")), trace.Metric(q.Get("metric")))
+		writeJSON(w, http.StatusOK, zonesReply{GeneratedAt: time.Now(), Estimates: ests})
+	})
+	ops.HandleFunc("GET /api/v1/zones/{id}", func(w http.ResponseWriter, r *http.Request) {
+		zone, err := parseZoneID(r.PathValue("id"))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		ests := s.zoneEstimates(&zone, "", "")
+		if len(ests) == 0 {
+			writeJSON(w, http.StatusNotFound, map[string]string{
+				"error": fmt.Sprintf("zone %s has no tracked statistics", zone),
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, zonesReply{GeneratedAt: time.Now(), Estimates: ests})
+	})
+}
+
+// zoneEstimates builds the live view: the controller snapshot supplies the
+// key universe, epoch lengths and published records, and keys whose first
+// epoch has not closed yet fall back to Estimate's running accumulator so
+// a freshly started coordinator is not invisible to its operator.
+func (s *Server) zoneEstimates(zone *geo.ZoneID, net radio.NetworkID, metric trace.Metric) []ZoneEstimate {
+	now := time.Now()
+	snap := s.ctrl.Snapshot(now)
+	out := []ZoneEstimate{}
+	for _, e := range snap.Entries {
+		if zone != nil && e.Key.Zone != *zone {
+			continue
+		}
+		if net != "" && e.Key.Net != net {
+			continue
+		}
+		if metric != "" && e.Key.Metric != metric {
+			continue
+		}
+		ze := ZoneEstimate{
+			Zone:             e.Key.Zone.String(),
+			Network:          e.Key.Net,
+			Metric:           e.Key.Metric,
+			EpochSeconds:     e.EpochSeconds,
+			TotalSamples:     e.TotalCount,
+			StalenessSeconds: -1,
+		}
+		rec := e.Record
+		if rec == nil {
+			// Not published yet; serve the running accumulator if any.
+			if live, ok := s.ctrl.Estimate(e.Key); ok {
+				rec = &live
+			}
+		}
+		if rec != nil {
+			ze.Mean = rec.MeanValue
+			ze.StdDev = rec.StdDev
+			ze.Samples = rec.Samples
+			ze.UpdatedAt = rec.UpdatedAt
+			if !rec.UpdatedAt.IsZero() {
+				ze.StalenessSeconds = now.Sub(rec.UpdatedAt).Seconds()
+			}
+		}
+		out = append(out, ze)
+	}
+	return out
+}
+
+// parseZoneID parses the "x:y" path form of a ZoneID.
+func parseZoneID(s string) (geo.ZoneID, error) {
+	xs, ys, ok := strings.Cut(s, ":")
+	if !ok {
+		return geo.ZoneID{}, fmt.Errorf("bad zone id %q: want \"x:y\"", s)
+	}
+	x, errX := strconv.ParseInt(xs, 10, 32)
+	y, errY := strconv.ParseInt(ys, 10, 32)
+	if errX != nil || errY != nil {
+		return geo.ZoneID{}, fmt.Errorf("bad zone id %q: want \"x:y\"", s)
+	}
+	return geo.ZoneID{X: int32(x), Y: int32(y)}, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

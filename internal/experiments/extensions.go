@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/agent"
@@ -167,14 +168,7 @@ func Ext02ClientOverhead(o Options) Report {
 		truth := env.Field(radio.NetB).At(site, campaignStart.Add(12*time.Hour)).CapacityKbps
 		r.AddRow("estimate quality", "within a few percent of ground truth",
 			fmt.Sprintf("%.0f Kbps vs %.0f Kbps truth (%.1f%% off)", rec.MeanValue, truth,
-				100*abs(rec.MeanValue-truth)/truth))
+				100*math.Abs(rec.MeanValue-truth)/truth))
 	}
 	return r
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
 }

@@ -31,9 +31,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -100,6 +102,10 @@ type Options struct {
 	// disk, and recovery falls back to an older one.
 	CheckpointKeep int
 
+	// Telemetry receives WAL/checkpoint/recovery metrics. Nil disables
+	// instrumentation at zero cost (see internal/telemetry's nil contract).
+	Telemetry *telemetry.Registry
+
 	// Logf receives store diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -131,6 +137,8 @@ type Store struct {
 	dir      string
 	opts     Options
 	recovery Recovery
+	met      metrics
+	lastCkpt atomic.Int64 // unix nanos of the newest checkpoint (age gauge)
 
 	mu       sync.Mutex
 	f        *os.File // active WAL segment
@@ -165,6 +173,15 @@ func Open(dir string, opts Options) (*Store, error) {
 		nextLSN:  nextLSN,
 		stop:     make(chan struct{}),
 	}
+	// The age gauge needs a reference point before the first checkpoint:
+	// the recovered checkpoint's timestamp if there is one, else "now".
+	if rec.Snapshot != nil && !rec.Snapshot.TakenAt.IsZero() {
+		st.lastCkpt.Store(rec.Snapshot.TakenAt.UnixNano())
+	} else {
+		st.lastCkpt.Store(time.Now().UnixNano())
+	}
+	st.met = newMetrics(opts.Telemetry, &st.lastCkpt)
+	recordRecovery(opts.Telemetry, rec)
 	if err := st.openSegmentLocked(st.nextLSN); err != nil {
 		return nil, err
 	}
@@ -209,10 +226,20 @@ func (st *Store) openSegmentLocked(first uint64) error {
 	return nil
 }
 
+// syncLocked is f.Sync with fsync count + latency instrumentation; every
+// WAL fsync in the store funnels through it.
+func (st *Store) syncLocked() error {
+	t0 := time.Now()
+	err := st.f.Sync()
+	st.met.walFsyncs.Inc()
+	st.met.walFsyncSec.Observe(time.Since(t0).Seconds())
+	return err
+}
+
 // rotateLocked seals the active segment and starts a new one at next.
 func (st *Store) rotateLocked(next uint64) error {
 	if st.opts.Fsync.Enabled() && st.unsynced > 0 {
-		if err := st.f.Sync(); err != nil {
+		if err := st.syncLocked(); err != nil {
 			return fmt.Errorf("store: fsync on rotation: %w", err)
 		}
 		st.unsynced = 0
@@ -220,6 +247,7 @@ func (st *Store) rotateLocked(next uint64) error {
 	if err := st.f.Close(); err != nil {
 		return fmt.Errorf("store: sealing segment: %w", err)
 	}
+	st.met.walRotations.Inc()
 	return st.openSegmentLocked(next)
 }
 
@@ -232,6 +260,14 @@ func (st *Store) Append(smp trace.Sample) (uint64, error) {
 	if st.closed {
 		return 0, ErrClosed
 	}
+	lsn, err := st.appendLocked(smp)
+	if err != nil {
+		st.met.appendErrors.Inc()
+	}
+	return lsn, err
+}
+
+func (st *Store) appendLocked(smp trace.Sample) (uint64, error) {
 	lsn := st.nextLSN
 	payload, err := json.Marshal(walRecord{LSN: lsn, Sample: smp})
 	if err != nil {
@@ -249,8 +285,10 @@ func (st *Store) Append(smp trace.Sample) (uint64, error) {
 	st.segSize += int64(len(st.buf))
 	st.nextLSN = lsn + 1
 	st.unsynced++
+	st.met.walAppends.Inc()
+	st.met.walBytes.Add(float64(len(st.buf)))
 	if n := st.opts.Fsync.EveryRecords; n > 0 && st.unsynced >= n {
-		if err := st.f.Sync(); err != nil {
+		if err := st.syncLocked(); err != nil {
 			return 0, fmt.Errorf("store: fsync: %w", err)
 		}
 		st.unsynced = 0
@@ -277,7 +315,7 @@ func (st *Store) Sync() error {
 	if st.closed {
 		return ErrClosed
 	}
-	if err := st.f.Sync(); err != nil {
+	if err := st.syncLocked(); err != nil {
 		return fmt.Errorf("store: fsync: %w", err)
 	}
 	st.unsynced = 0
@@ -295,10 +333,18 @@ func (st *Store) Checkpoint(snap core.Snapshot) error {
 		return ErrClosed
 	}
 	lsn := st.nextLSN - 1
+	t0 := time.Now()
 	if err := writeCheckpoint(st.dir, lsn, snap); err != nil {
 		return err
 	}
 	st.compactLocked()
+	st.met.checkpoints.Inc()
+	st.met.checkpointSec.Observe(time.Since(t0).Seconds())
+	if !snap.TakenAt.IsZero() {
+		st.lastCkpt.Store(snap.TakenAt.UnixNano())
+	} else {
+		st.lastCkpt.Store(t0.UnixNano())
+	}
 	return nil
 }
 
@@ -349,7 +395,7 @@ func (st *Store) syncLoop() {
 		case <-t.C:
 			st.mu.Lock()
 			if !st.closed && st.unsynced > 0 {
-				if err := st.f.Sync(); err != nil {
+				if err := st.syncLocked(); err != nil {
 					st.opts.Logf("store: interval fsync: %v", err)
 				}
 				st.unsynced = 0
@@ -372,7 +418,7 @@ func (st *Store) Close() error {
 	}
 	st.closed = true
 	close(st.stop)
-	err := st.f.Sync() // a graceful shutdown always leaves a durable WAL
+	err := st.syncLocked() // a graceful shutdown always leaves a durable WAL
 	if cerr := st.f.Close(); err == nil {
 		err = cerr
 	}

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one HELP and TYPE line
+// each, histograms expanded into cumulative _bucket/_sum/_count series.
+// A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if err := f.writePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedFamilies returns the families in name order; nil-safe.
+func (r *Registry) sortedFamilies() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]*family, 0, len(r.names))
+	for _, name := range r.names {
+		out = append(out, r.fams[name])
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func (f *family) writePrometheus(w io.Writer) error {
+	var b strings.Builder
+	if f.help != "" {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+
+	if f.fn != nil {
+		fmt.Fprintf(&b, "%s %s\n", f.name, formatValue(f.fn()))
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+
+	f.mu.RLock()
+	series := append([]*series(nil), f.order...)
+	f.mu.RUnlock()
+
+	for _, s := range series {
+		switch f.kind {
+		case KindHistogram:
+			// Bucket counts are stored per-bucket; the text format wants
+			// them cumulative, ending at the implicit +Inf bucket.
+			var cum uint64
+			for i, ub := range f.buckets {
+				cum += s.hcounts[i].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n",
+					f.name, labelString(f.labels, s.labelVals, "le", formatValue(ub)), cum)
+			}
+			cum += s.hcounts[len(f.buckets)].Load()
+			fmt.Fprintf(&b, "%s_bucket%s %d\n",
+				f.name, labelString(f.labels, s.labelVals, "le", "+Inf"), cum)
+			fmt.Fprintf(&b, "%s_sum%s %s\n",
+				f.name, labelString(f.labels, s.labelVals, "", ""), formatValue(s.hsum.Load()))
+			fmt.Fprintf(&b, "%s_count%s %d\n",
+				f.name, labelString(f.labels, s.labelVals, "", ""), s.hcount.Load())
+		default:
+			fmt.Fprintf(&b, "%s%s %s\n",
+				f.name, labelString(f.labels, s.labelVals, "", ""), formatValue(s.val.Load()))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelString renders {k="v",...}, appending one extra pair when extraK is
+// non-empty (the histogram "le" bound). Empty label sets render as "".
+func labelString(names, vals []string, extraK, extraV string) string {
+	if len(names) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(extraV)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// formatValue renders a sample value the way Prometheus expects: integers
+// without an exponent, everything else in shortest-round-trip form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// jsonFamily is the JSON exposition shape of one family.
+type jsonFamily struct {
+	Name   string       `json:"name"`
+	Help   string       `json:"help,omitempty"`
+	Kind   string       `json:"kind"`
+	Series []jsonSeries `json:"series"`
+}
+
+// jsonSeries is one series: a scalar value for counters/gauges, or
+// buckets/sum/count for histograms.
+type jsonSeries struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Buckets map[string]uint64 `json:"buckets,omitempty"` // upper bound -> cumulative count
+	Sum     *float64          `json:"sum,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+}
+
+// WriteJSON renders the registry as a JSON document — the same data as
+// WritePrometheus for consumers that would rather not parse text format.
+// A nil registry writes an empty family list.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams := []jsonFamily{}
+	for _, f := range r.sortedFamilies() {
+		jf := jsonFamily{Name: f.name, Help: f.help, Kind: f.kind.String(), Series: []jsonSeries{}}
+		if f.fn != nil {
+			v := f.fn()
+			jf.Series = append(jf.Series, jsonSeries{Value: &v})
+			fams = append(fams, jf)
+			continue
+		}
+		f.mu.RLock()
+		series := append([]*series(nil), f.order...)
+		f.mu.RUnlock()
+		for _, s := range series {
+			js := jsonSeries{}
+			if len(f.labels) > 0 {
+				js.Labels = make(map[string]string, len(f.labels))
+				for i, n := range f.labels {
+					js.Labels[n] = s.labelVals[i]
+				}
+			}
+			if f.kind == KindHistogram {
+				buckets := make(map[string]uint64, len(f.buckets)+1)
+				var cum uint64
+				for i, ub := range f.buckets {
+					cum += s.hcounts[i].Load()
+					buckets[formatValue(ub)] = cum
+				}
+				cum += s.hcounts[len(f.buckets)].Load()
+				buckets["+Inf"] = cum
+				sum, count := s.hsum.Load(), s.hcount.Load()
+				js.Buckets, js.Sum, js.Count = buckets, &sum, &count
+			} else {
+				v := s.val.Load()
+				js.Value = &v
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		fams = append(fams, jf)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		Families []jsonFamily `json:"families"`
+	}{fams})
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// OpsOptions configures an ops-plane HTTP server.
+type OpsOptions struct {
+	// Registry backs /metrics (text format) and /metrics.json. Nil serves
+	// empty (but valid) expositions.
+	Registry *Registry
+
+	// Ready backs /readyz: nil means "ready as soon as the server is up".
+	// /healthz is pure liveness and always returns 200 while serving.
+	Ready func() bool
+
+	// Logf receives server diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// OpsServer is the operations HTTP plane: /metrics, /metrics.json,
+// /healthz, /readyz, and net/http/pprof under /debug/pprof/. It is
+// deliberately separate from the client-facing protocol listener so that
+// scraping, health probes and profiling never contend with (or get
+// confused for) protocol traffic, and so it can bind a private interface.
+type OpsServer struct {
+	ln     net.Listener
+	srv    *http.Server
+	mux    *http.ServeMux
+	logf   func(string, ...any)
+	closed atomic.Bool
+	done   chan struct{}
+}
+
+// NewOpsServer binds addr (e.g. "127.0.0.1:0"), installs the standard
+// endpoints, and starts serving in the background. Additional endpoints
+// (like the coordinator's zone query API) can be added with Handle before
+// the first request arrives.
+func NewOpsServer(addr string, opts OpsOptions) (*OpsServer, error) {
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: ops listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	s := &OpsServer{
+		ln:   ln,
+		mux:  mux,
+		logf: opts.Logf,
+		done: make(chan struct{}),
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := opts.Registry.WritePrometheus(w); err != nil {
+			s.logf("telemetry: /metrics: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := opts.Registry.WriteJSON(w); err != nil {
+			s.logf("telemetry: /metrics.json: %v", err)
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opts.Ready != nil && !opts.Ready() {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	// net/http/pprof self-registers only on http.DefaultServeMux; wire its
+	// handlers onto our private mux explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.logf("telemetry: ops server: %v", err)
+		}
+	}()
+	return s, nil
+}
+
+// Handle installs an additional endpoint. Patterns use net/http.ServeMux
+// syntax (method prefixes and {wildcards} included).
+func (s *OpsServer) Handle(pattern string, h http.Handler) {
+	if s == nil {
+		return
+	}
+	s.mux.Handle(pattern, h)
+}
+
+// HandleFunc is Handle for plain functions.
+func (s *OpsServer) HandleFunc(pattern string, h func(http.ResponseWriter, *http.Request)) {
+	if s == nil {
+		return
+	}
+	s.mux.HandleFunc(pattern, h)
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *OpsServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// URL returns "http://<addr>" for the bound listener.
+func (s *OpsServer) URL() string {
+	if s == nil {
+		return ""
+	}
+	return "http://" + s.Addr()
+}
+
+// Close gracefully drains in-flight requests (bounded at 2s, long enough
+// for a scrape, short enough not to stall coordinator shutdown), then
+// closes the listener. Idempotent and nil-safe.
+func (s *OpsServer) Close() error {
+	if s == nil || !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Shutdown timed out with requests still in flight; hard-close.
+		err = s.srv.Close()
+	}
+	<-s.done
+	return err
+}

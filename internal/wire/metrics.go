@@ -1,0 +1,55 @@
+package wire
+
+import "repro/internal/telemetry"
+
+// Metrics counts codec activity for one side of the protocol. All fields
+// are nil-safe telemetry instruments, so the zero value (and a nil
+// *Metrics) cost nothing — uninstrumented connections stay free.
+type Metrics struct {
+	MessagesEncoded  *telemetry.Counter
+	BytesEncoded     *telemetry.Counter
+	MessagesDecoded  *telemetry.Counter
+	BytesDecoded     *telemetry.Counter
+	OversizedRejects *telemetry.Counter
+}
+
+// NewMetrics registers the wire codec families on reg (nil reg returns a
+// valid no-op Metrics) and resolves their series once, so the per-message
+// cost is a single atomic add.
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	msgs := reg.Counter("wiscape_wire_messages_total",
+		"Protocol envelopes moved through the codec, by direction.", "dir")
+	bytes := reg.Counter("wiscape_wire_bytes_total",
+		"Framed protocol bytes moved through the codec, by direction.", "dir")
+	return &Metrics{
+		MessagesEncoded: msgs.With("encode"),
+		BytesEncoded:    bytes.With("encode"),
+		MessagesDecoded: msgs.With("decode"),
+		BytesDecoded:    bytes.With("decode"),
+		OversizedRejects: reg.Counter("wiscape_wire_oversized_rejects_total",
+			"Messages dropped for exceeding MaxMessageBytes (either direction).").With(),
+	}
+}
+
+func (m *Metrics) encoded(frameBytes int) {
+	if m == nil {
+		return
+	}
+	m.MessagesEncoded.Inc()
+	m.BytesEncoded.Add(float64(frameBytes))
+}
+
+func (m *Metrics) decoded(frameBytes int) {
+	if m == nil {
+		return
+	}
+	m.MessagesDecoded.Inc()
+	m.BytesDecoded.Add(float64(frameBytes))
+}
+
+func (m *Metrics) oversized() {
+	if m == nil {
+		return
+	}
+	m.OversizedRejects.Inc()
+}

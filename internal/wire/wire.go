@@ -154,6 +154,7 @@ type Conn struct {
 	nc net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
+	m  *Metrics
 }
 
 // NewConn wraps a transport connection.
@@ -165,6 +166,13 @@ func NewConn(nc net.Conn) *Conn {
 	}
 }
 
+// Instrument attaches codec metrics (shared across any number of Conns)
+// and returns c. A nil m leaves the connection uninstrumented.
+func (c *Conn) Instrument(m *Metrics) *Conn {
+	c.m = m
+	return c
+}
+
 // Send writes one envelope.
 func (c *Conn) Send(e Envelope) error {
 	data, err := json.Marshal(e)
@@ -172,6 +180,7 @@ func (c *Conn) Send(e Envelope) error {
 		return fmt.Errorf("wire: encoding %s: %w", e.Type, err)
 	}
 	if len(data) > MaxMessageBytes {
+		c.m.oversized()
 		return ErrMessageTooLarge
 	}
 	if _, err := c.bw.Write(data); err != nil {
@@ -180,7 +189,11 @@ func (c *Conn) Send(e Envelope) error {
 	if err := c.bw.WriteByte('\n'); err != nil {
 		return fmt.Errorf("wire: writing frame end: %w", err)
 	}
-	return c.bw.Flush()
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	c.m.encoded(len(data) + 1)
+	return nil
 }
 
 // Recv reads the next envelope, enforcing the size cap.
@@ -188,6 +201,9 @@ func (c *Conn) Recv() (Envelope, error) {
 	var e Envelope
 	line, err := readLineLimited(c.br, MaxMessageBytes)
 	if err != nil {
+		if errors.Is(err, ErrMessageTooLarge) {
+			c.m.oversized()
+		}
 		return e, err
 	}
 	if err := json.Unmarshal(line, &e); err != nil {
@@ -196,6 +212,7 @@ func (c *Conn) Recv() (Envelope, error) {
 	if e.Type == "" {
 		return e, errors.New("wire: message missing type")
 	}
+	c.m.decoded(len(line) + 1)
 	return e, nil
 }
 

@@ -3,7 +3,7 @@
 # store/coordinator shutdown paths are race-sensitive).
 GO ?= go
 
-.PHONY: all vet build test race ci bench bench-ingest
+.PHONY: all vet build test race ci bench bench-ingest bench-gateway swarm-smoke
 
 all: vet build test
 
@@ -28,3 +28,14 @@ bench:
 # Just the persistence-overhead trajectory (in-memory vs WAL ingest).
 bench-ingest:
 	$(GO) test -bench='BenchmarkIngest' -benchmem
+
+# Gateway routing overhead: the same swarm against a bare coordinator and
+# behind a single-shard gateway (compare the samples/s metric).
+bench-gateway:
+	$(GO) test -bench='BenchmarkSwarm' -benchmem -run='^$$' ./internal/cluster/
+
+# Cluster smoke: build both cluster binaries and run the gateway + swarm
+# suite (including the 200-agent load test) under the race detector.
+swarm-smoke:
+	$(GO) build ./cmd/wiscape-gateway ./cmd/wiscape-swarm
+	$(GO) test -race -count=1 ./internal/cluster/...

@@ -17,7 +17,7 @@
 //	wiscape-coordinator [-addr 127.0.0.1:7411] [-zone-radius 250] [-seed N]
 //	                    [-data DIR] [-checkpoint-interval 1m]
 //	                    [-fsync off|always|every=N|interval=DUR]
-//	                    [-ops-addr 127.0.0.1:9090]
+//	                    [-ops-addr 127.0.0.1:9090] [-idle-timeout 2m]
 package main
 
 import (
@@ -38,6 +38,7 @@ func main() {
 	zoneRadius := flag.Float64("zone-radius", 250, "zone radius in meters")
 	seed := flag.Uint64("seed", 1, "scheduling seed")
 	taskInterval := flag.Duration("task-interval", 5*time.Minute, "client task cadence")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "drop client connections idle this long (0 disables)")
 	dataDir := flag.String("data", "", "durable sample store directory (WAL + checkpoints; recovers on start)")
 	ckptInterval := flag.Duration("checkpoint-interval", time.Minute, "checkpoint cadence for -data")
 	fsyncMode := flag.String("fsync", "off", "WAL fsync policy: off | always | every=N | interval=DUR")
@@ -94,6 +95,7 @@ func main() {
 
 	srv, err := coordinator.Serve(ctrl, *addr, coordinator.Options{
 		TaskInterval:       *taskInterval,
+		IdleTimeout:        *idleTimeout,
 		Seed:               *seed,
 		DataDir:            *dataDir,
 		CheckpointInterval: *ckptInterval,

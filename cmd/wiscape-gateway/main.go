@@ -1,0 +1,135 @@
+// Command wiscape-gateway fronts a zone-sharded WiScape cluster: agents
+// connect to it exactly as they would to a single coordinator, and the
+// gateway routes each report to the regional coordinator shard whose
+// bounding box covers the reported location, fans estimate and zone-list
+// queries out across shards, and degrades a down region to explicit
+// "shard unavailable" errors instead of hung connections.
+//
+// Shards are declared with repeated -shard flags:
+//
+//	wiscape-gateway -addr 127.0.0.1:7410 \
+//	  -shard 'madison=127.0.0.1:7411=42.99,-89.59,43.20,-89.20' \
+//	  -shard 'new-jersey=127.0.0.1:7412=40.30,-74.75,40.55,-74.35' \
+//	  -ops-addr 127.0.0.1:9089
+//
+// The -shard value is name=addr=minlat,minlon,maxlat,maxlon. Two presets
+// cover the paper's study areas: -shard 'madison=ADDR' and
+// -shard 'new-jersey=ADDR' fill in the Madison and New Brunswick boxes.
+//
+// With -ops-addr the gateway serves /metrics (per-shard routed, forwarded
+// and failed counters, route-latency histogram, healthy-shard gauge),
+// /healthz, /readyz (reflecting shard quorum), pprof, and the live route
+// table at /api/v1/shards.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/geo"
+)
+
+// parseShard parses name=addr[=minlat,minlon,maxlat,maxlon], applying the
+// paper-region presets when the box is omitted.
+func parseShard(v string) (cluster.ShardConfig, error) {
+	parts := strings.SplitN(v, "=", 3)
+	if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+		return cluster.ShardConfig{}, fmt.Errorf("want name=addr[=minlat,minlon,maxlat,maxlon], got %q", v)
+	}
+	cfg := cluster.ShardConfig{Name: parts[0], Addr: parts[1]}
+	if len(parts) == 3 {
+		fields := strings.Split(parts[2], ",")
+		if len(fields) != 4 {
+			return cluster.ShardConfig{}, fmt.Errorf("box %q: want minlat,minlon,maxlat,maxlon", parts[2])
+		}
+		var vals [4]float64
+		for i, f := range fields {
+			x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return cluster.ShardConfig{}, fmt.Errorf("box %q: %v", parts[2], err)
+			}
+			vals[i] = x
+		}
+		cfg.Box = geo.BoundingBox{MinLat: vals[0], MinLon: vals[1], MaxLat: vals[2], MaxLon: vals[3]}
+		return cfg, nil
+	}
+	switch cfg.Name {
+	case "madison":
+		cfg.Box = geo.Madison()
+	case "new-jersey":
+		cfg.Box = geo.NewBrunswickArea()
+	default:
+		return cluster.ShardConfig{}, fmt.Errorf("shard %q has no preset box; give name=addr=minlat,minlon,maxlat,maxlon", cfg.Name)
+	}
+	return cfg, nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7410", "agent-facing listen address")
+	name := flag.String("name", "wiscape-gateway", "gateway name (hello_ack server id, Via metadata)")
+	taskInterval := flag.Duration("task-interval", 5*time.Minute, "task cadence advertised to agents (match the shards)")
+	requestTimeout := flag.Duration("request-timeout", 5*time.Second, "per-shard round-trip bound")
+	dialTimeout := flag.Duration("dial-timeout", 2*time.Second, "per-shard dial bound")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "drop agent connections idle this long (0 disables)")
+	breakCooldown := flag.Duration("break-cooldown", 5*time.Second, "circuit-breaker open duration after repeated shard failures")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures that trip a shard's breaker")
+	recheck := flag.Duration("recheck-interval", 2*time.Second, "background redial cadence for unhealthy shards (negative disables)")
+	quorum := flag.Int("ready-quorum", 0, "healthy shards required for /readyz (0 = majority)")
+	seed := flag.Uint64("seed", 1, "retry-jitter seed")
+	opsAddr := flag.String("ops-addr", "", "ops HTTP plane address (/metrics, /healthz, /readyz, pprof, /api/v1/shards); empty disables")
+
+	var shardCfgs []cluster.ShardConfig
+	flag.Func("shard", "shard spec name=addr[=minlat,minlon,maxlat,maxlon] (repeatable)", func(v string) error {
+		cfg, err := parseShard(v)
+		if err != nil {
+			return err
+		}
+		shardCfgs = append(shardCfgs, cfg)
+		return nil
+	})
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gateway: ", log.LstdFlags)
+	reg, err := cluster.NewRegistry(shardCfgs)
+	if err != nil {
+		logger.Fatalf("%v (declare shards with -shard)", err)
+	}
+
+	g, err := cluster.ServeGateway(reg, *addr, cluster.GatewayOptions{
+		Name:             *name,
+		TaskInterval:     *taskInterval,
+		DialTimeout:      *dialTimeout,
+		RequestTimeout:   *requestTimeout,
+		IdleTimeout:      *idleTimeout,
+		BreakCooldown:    *breakCooldown,
+		FailureThreshold: *failThreshold,
+		RecheckInterval:  *recheck,
+		ReadyQuorum:      *quorum,
+		Seed:             *seed,
+		OpsAddr:          *opsAddr,
+		Logf:             func(format string, args ...any) { logger.Printf(format, args...) },
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	for _, s := range reg.Shards() {
+		logger.Printf("shard %s -> %s box [%.2f,%.2f]..[%.2f,%.2f]",
+			s.Name(), s.Addr(), s.Box().MinLat, s.Box().MinLon, s.Box().MaxLat, s.Box().MaxLon)
+	}
+	logger.Printf("routing for %d shards on %s", len(reg.Shards()), g.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	logger.Printf("shutting down")
+	if err := g.Close(); err != nil {
+		logger.Printf("close: %v", err)
+	}
+}

@@ -1,0 +1,90 @@
+// Command wiscape-swarm load-tests a WiScape serving tier: it drives N
+// concurrent simulated agents (real TCP, real protocol, synthetic samples)
+// against a coordinator or cluster gateway and reports ingest throughput
+// and request-latency tails — the first benchmark of the networking stack
+// at scale.
+//
+// Usage:
+//
+//	# 500 agents against a single coordinator
+//	wiscape-swarm -addr 127.0.0.1:7411 -agents 500
+//
+//	# 1000 agents across both paper regions through a gateway
+//	wiscape-swarm -addr 127.0.0.1:7410 -agents 1000 \
+//	  -region 43.015,-89.485,43.1275,-89.331 -region 40.47,-74.475,40.505,-74.425
+//
+// Regions repeat; agent i reports from region i mod len(regions), so a
+// two-region swarm splits evenly across two shards. Against a gateway the
+// regions must lie inside the shard bounding boxes — reports from
+// locations no shard covers are answered with errors and counted in
+// wiscape_gateway_unroutable_total.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster/swarm"
+	"repro/internal/geo"
+)
+
+func parseBox(v string) (geo.BoundingBox, error) {
+	fields := strings.Split(v, ",")
+	if len(fields) != 4 {
+		return geo.BoundingBox{}, fmt.Errorf("want minlat,minlon,maxlat,maxlon, got %q", v)
+	}
+	var vals [4]float64
+	for i, f := range fields {
+		x, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return geo.BoundingBox{}, err
+		}
+		vals[i] = x
+	}
+	return geo.BoundingBox{MinLat: vals[0], MinLon: vals[1], MaxLat: vals[2], MaxLon: vals[3]}, nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7411", "target address (coordinator or gateway)")
+	agents := flag.Int("agents", 200, "concurrent simulated agents")
+	rounds := flag.Int("rounds", 10, "protocol rounds per agent")
+	samples := flag.Int("samples", 5, "samples uploaded per round")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	zoneRadius := flag.Float64("zone-radius", 250, "zone radius (match the target)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
+
+	var regions []geo.BoundingBox
+	flag.Func("region", "report-location box minlat,minlon,maxlat,maxlon (repeatable; default Madison)", func(v string) error {
+		box, err := parseBox(v)
+		if err != nil {
+			return err
+		}
+		regions = append(regions, box)
+		return nil
+	})
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "swarm: ", log.LstdFlags)
+	logger.Printf("driving %d agents x %d rounds at %s", *agents, *rounds, *addr)
+	res, err := swarm.Run(*addr, swarm.Options{
+		Agents:          *agents,
+		Rounds:          *rounds,
+		SamplesPerRound: *samples,
+		Regions:         regions,
+		Seed:            *seed,
+		ZoneRadiusM:     *zoneRadius,
+		RequestTimeout:  *timeout,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Println(res)
+	if res.AgentsCompleted == 0 {
+		os.Exit(1)
+	}
+}

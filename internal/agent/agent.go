@@ -88,6 +88,23 @@ type Agent struct {
 	// Telemetry, when non-nil, receives client-side metrics (build one
 	// with NewMetrics). Nil runs uninstrumented at zero cost.
 	Telemetry *Metrics
+
+	// RetryBackoff shapes RunResilient's inter-redial delays (jittered
+	// exponential, deterministic from Seed and ID). The zero value takes
+	// the rng.Backoff defaults (250ms base, 15s cap, factor 2).
+	RetryBackoff rng.Backoff
+
+	// sleep intercepts backoff waits in tests; nil means time.Sleep.
+	sleep func(time.Duration)
+}
+
+// pause blocks for d via the test hook or the real clock.
+func (a *Agent) pause(d time.Duration) {
+	if a.sleep != nil {
+		a.sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // Stats summarizes one agent run, including the client-side cost WiScape
@@ -129,14 +146,19 @@ func (a *Agent) Run(addr string, start time.Time, duration, interval time.Durati
 
 // RunResilient is Run with automatic reconnection: when the coordinator
 // connection drops mid-campaign, the agent redials and resumes from where
-// it left off (real clients outlive coordinator restarts). It gives up
-// after maxRetries consecutive failed attempts.
+// it left off (real clients outlive coordinator restarts). Redials after a
+// failure wait out a deterministic jittered exponential backoff (seeded
+// from Seed and ID, shaped by RetryBackoff), so a fleet of agents facing a
+// down coordinator spreads its retries instead of hammering in lock-step.
+// It gives up after maxRetries consecutive attempts with no forward
+// progress.
 func (a *Agent) RunResilient(addr string, start time.Time, duration, interval time.Duration, maxRetries int) (Stats, error) {
 	var total Stats
 	cursor := start
 	end := start.Add(duration)
 	retries := 0
 	first := true
+	backoffRand := rng.NewNamed(a.Seed, "agent-backoff:"+a.ID)
 	for cursor.Before(end) {
 		if !first {
 			a.Telemetry.reconnect()
@@ -162,6 +184,9 @@ func (a *Agent) RunResilient(addr string, start time.Time, duration, interval ti
 			retries = 0
 		}
 		cursor = next
+		// Back off before the redial, escalating with consecutive
+		// no-progress attempts (a made-progress drop resets to the base).
+		a.pause(a.RetryBackoff.Delay(retries, backoffRand))
 	}
 	return total, nil
 }

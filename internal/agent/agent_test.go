@@ -10,6 +10,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/mobility"
 	"repro/internal/radio"
+	"repro/internal/rng"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -158,18 +159,72 @@ func TestRunConnUnexpectedHelloReply(t *testing.T) {
 	}
 }
 
-func TestRunResilientGivesUpWhenUnreachable(t *testing.T) {
-	a := testAgent()
-	// Reserve and immediately close a port: nothing is listening there.
+// deadAddr reserves and immediately closes a port: nothing listens there.
+func deadAddr(t *testing.T) string {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	addr := ln.Addr().String()
 	_ = ln.Close()
-	_, err = a.RunResilient(addr, start, time.Hour, 5*time.Minute, 2)
+	return addr
+}
+
+func TestRunResilientGivesUpWhenUnreachable(t *testing.T) {
+	a := testAgent()
+	var delays []time.Duration
+	a.sleep = func(d time.Duration) { delays = append(delays, d) }
+	_, err := a.RunResilient(deadAddr(t), start, time.Hour, 5*time.Minute, 2)
 	if err == nil || !strings.Contains(err.Error(), "giving up") {
 		t.Fatalf("err = %v", err)
+	}
+	// maxRetries=2: two failed attempts back off (escalating), the third
+	// gives up before sleeping.
+	if len(delays) != 2 {
+		t.Fatalf("recorded %d backoff waits, want 2: %v", len(delays), delays)
+	}
+	// Delay(1) = base*2 jittered to [base, 2*base); Delay(2) doubles again.
+	if lo, hi := rng.DefaultBackoffBase, 2*rng.DefaultBackoffBase; delays[0] < lo || delays[0] >= hi {
+		t.Fatalf("first wait %v outside the jitter window [%v,%v)", delays[0], lo, hi)
+	}
+	if lo, hi := 2*rng.DefaultBackoffBase, 4*rng.DefaultBackoffBase; delays[1] < lo || delays[1] >= hi {
+		t.Fatalf("second wait %v outside the escalated window [%v,%v)", delays[1], lo, hi)
+	}
+}
+
+// TestRunResilientBackoffIsDeterministic pins the fleet-safety property:
+// the same agent identity produces the same jittered schedule, while a
+// different identity de-synchronizes.
+func TestRunResilientBackoffIsDeterministic(t *testing.T) {
+	schedule := func(id string) []time.Duration {
+		a := testAgent()
+		a.ID = id
+		var delays []time.Duration
+		a.sleep = func(d time.Duration) { delays = append(delays, d) }
+		if _, err := a.RunResilient(deadAddr(t), start, time.Hour, 5*time.Minute, 4); err == nil {
+			t.Fatal("dead address must fail")
+		}
+		return delays
+	}
+	first, second := schedule("unit"), schedule("unit")
+	if len(first) != 4 {
+		t.Fatalf("recorded %d waits, want 4", len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("wait %d differs across identical runs: %v vs %v", i, first[i], second[i])
+		}
+	}
+	other := schedule("other")
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different agent IDs drew identical jitter — fleet would retry in lock-step")
 	}
 }
 

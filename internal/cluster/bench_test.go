@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster/swarm"
+	"repro/internal/coordinator"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/trace"
+)
+
+// benchSwarm drives one fixed swarm per iteration and reports sustained
+// ingest throughput, so `go test -bench 'BenchmarkSwarm'` prints a direct
+// gateway-vs-coordinator comparison.
+func benchSwarm(b *testing.B, addr string) {
+	b.Helper()
+	const agents, rounds, samples = 64, 5, 10
+	var accepted int64
+	var elapsed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := swarm.Run(addr, swarm.Options{
+			Agents:          agents,
+			Rounds:          rounds,
+			SamplesPerRound: samples,
+			Seed:            uint64(1000 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.AgentsCompleted != agents || res.Failures != 0 {
+			b.Fatalf("bench swarm degraded: %+v", res)
+		}
+		accepted += res.SamplesAccepted
+		elapsed += res.Elapsed
+	}
+	b.StopTimer()
+	if elapsed > 0 {
+		b.ReportMetric(float64(accepted)/elapsed.Seconds(), "samples/s")
+	}
+}
+
+func benchCoordinator(b *testing.B) *coordinator.Server {
+	b.Helper()
+	ctrl := core.NewController(core.DefaultConfig(), geo.Madison().Center())
+	srv, err := coordinator.Serve(ctrl, "127.0.0.1:0", coordinator.Options{
+		Networks:     []radio.NetworkID{radio.NetB},
+		Metrics:      []trace.Metric{trace.MetricUDPKbps},
+		TaskInterval: time.Minute,
+		Seed:         1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+// BenchmarkSwarmDirect is the baseline: the swarm hits one coordinator.
+func BenchmarkSwarmDirect(b *testing.B) {
+	srv := benchCoordinator(b)
+	benchSwarm(b, srv.Addr())
+}
+
+// BenchmarkSwarmGateway measures the routing tier's overhead: the same
+// swarm, behind a single-shard gateway fronting the same coordinator.
+func BenchmarkSwarmGateway(b *testing.B) {
+	srv := benchCoordinator(b)
+	reg, err := NewRegistry([]ShardConfig{{Name: "madison", Addr: srv.Addr(), Box: geo.Madison()}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw, err := ServeGateway(reg, "127.0.0.1:0", GatewayOptions{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = gw.Close() })
+	benchSwarm(b, gw.Addr())
+}

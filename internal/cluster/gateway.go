@@ -1,0 +1,617 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// GatewayOptions configures a routing gateway.
+type GatewayOptions struct {
+	// Name identifies this gateway in hello_ack ServerIDs and the Via
+	// metadata stamped on forwarded envelopes. Default "wiscape-gateway".
+	Name string
+
+	// TaskInterval is the cadence advertised to agents in hello_ack; it
+	// should match the shard coordinators'. Default 5 minutes.
+	TaskInterval time.Duration
+
+	// DialTimeout bounds one upstream dial. Default 2s.
+	DialTimeout time.Duration
+
+	// RequestTimeout bounds one upstream round trip (send + reply).
+	// Default 5s — a down shard costs a bounded error, never a hung agent.
+	RequestTimeout time.Duration
+
+	// RetryAttempts is how many times one upstream request is retried on a
+	// fresh connection (with jittered exponential backoff) before the
+	// shard is declared unavailable for that request. Default 1.
+	RetryAttempts int
+
+	// RetryBackoff shapes the inter-retry delays. The zero value uses a
+	// gateway-appropriate fast schedule (25ms base, 500ms cap).
+	RetryBackoff rng.Backoff
+
+	// FailureThreshold consecutive upstream failures trip a shard's
+	// circuit breaker open. Default 3.
+	FailureThreshold int
+
+	// BreakCooldown is how long a tripped breaker rejects traffic before
+	// admitting a trial request. Default 5s.
+	BreakCooldown time.Duration
+
+	// RecheckInterval is the cadence of the background probe that redials
+	// unhealthy shards (live re-check). Zero means 2s; negative disables.
+	RecheckInterval time.Duration
+
+	// IdleTimeout drops agent connections with no traffic for this long,
+	// so dead clients cannot pin gateway goroutines. Zero disables.
+	IdleTimeout time.Duration
+
+	// ReadyQuorum is the healthy-shard count required for /readyz to
+	// report ready. Zero means majority (len(shards)/2 + 1).
+	ReadyQuorum int
+
+	// Seed drives the deterministic retry jitter.
+	Seed uint64
+
+	// Telemetry receives gateway and wire metrics; nil disables
+	// instrumentation (unless OpsAddr forces a private registry).
+	Telemetry *telemetry.Registry
+
+	// OpsAddr, when non-empty, serves the ops HTTP plane (/metrics,
+	// /healthz, /readyz reflecting shard quorum, pprof, /api/v1/shards).
+	OpsAddr string
+
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (o *GatewayOptions) fill() {
+	if o.Name == "" {
+		o.Name = "wiscape-gateway"
+	}
+	if o.TaskInterval <= 0 {
+		o.TaskInterval = 5 * time.Minute
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.RetryAttempts < 0 {
+		o.RetryAttempts = 0
+	} else if o.RetryAttempts == 0 {
+		o.RetryAttempts = 1
+	}
+	if o.RetryBackoff == (rng.Backoff{}) {
+		o.RetryBackoff = rng.Backoff{Base: 25 * time.Millisecond, Max: 500 * time.Millisecond}
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.BreakCooldown <= 0 {
+		o.BreakCooldown = 5 * time.Second
+	}
+	if o.RecheckInterval == 0 {
+		o.RecheckInterval = 2 * time.Second
+	}
+	if o.Telemetry == nil && o.OpsAddr != "" {
+		o.Telemetry = telemetry.NewRegistry()
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Gateway is a running routing front end: it accepts ordinary agent
+// connections speaking internal/wire, routes location-keyed reports to the
+// owning shard, fans operator queries out across shards, and degrades to
+// explicit "shard unavailable" errors when a region is down.
+type Gateway struct {
+	reg  *Registry
+	opts GatewayOptions
+	ln   net.Listener
+	met  *gatewayMetrics
+	ops  *telemetry.OpsServer
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	sessionSeq atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// ServeGateway starts a gateway on addr routing to the shards in reg.
+func ServeGateway(reg *Registry, addr string, opts GatewayOptions) (*Gateway, error) {
+	opts.fill()
+	if opts.ReadyQuorum <= 0 {
+		opts.ReadyQuorum = len(reg.Shards())/2 + 1
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: gateway listen %s: %w", addr, err)
+	}
+	g := &Gateway{
+		reg:   reg,
+		opts:  opts,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		stop:  make(chan struct{}),
+	}
+	g.met = newGatewayMetrics(opts.Telemetry, reg.Shards(), reg.HealthyCount)
+	if opts.OpsAddr != "" {
+		ops, err := telemetry.NewOpsServer(opts.OpsAddr, telemetry.OpsOptions{
+			Registry: opts.Telemetry,
+			Ready:    g.ready,
+			Logf:     opts.Logf,
+		})
+		if err != nil {
+			_ = ln.Close()
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		g.ops = ops
+		ops.HandleFunc("GET /api/v1/shards", g.serveShards)
+		opts.Logf("gateway: ops plane listening on %s", ops.Addr())
+	}
+	g.wg.Add(1)
+	go g.acceptLoop()
+	if opts.RecheckInterval > 0 {
+		g.wg.Add(1)
+		go g.recheckLoop()
+	}
+	return g, nil
+}
+
+// Addr returns the agent-facing listen address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// OpsAddr returns the ops HTTP plane's bound address, "" when disabled.
+func (g *Gateway) OpsAddr() string { return g.ops.Addr() }
+
+// Registry returns the gateway's shard registry.
+func (g *Gateway) Registry() *Registry { return g.reg }
+
+// ready backs /readyz: listening, not closing, and at least ReadyQuorum
+// shards healthy — a gateway that lost its regions is up but not ready.
+func (g *Gateway) ready() bool {
+	g.mu.Lock()
+	closed := g.closed
+	g.mu.Unlock()
+	return !closed && g.reg.HealthyCount() >= g.opts.ReadyQuorum
+}
+
+// serveShards backs GET /api/v1/shards: the live per-shard route table.
+func (g *Gateway) serveShards(w http.ResponseWriter, r *http.Request) {
+	type row struct {
+		Name    string          `json:"name"`
+		Addr    string          `json:"addr"`
+		Box     geo.BoundingBox `json:"box"`
+		Healthy bool            `json:"healthy"`
+	}
+	rows := make([]row, 0, len(g.reg.Shards()))
+	for _, s := range g.reg.Shards() {
+		rows = append(rows, row{Name: s.Name(), Addr: s.Addr(), Box: s.Box(), Healthy: s.Healthy()})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"gateway": g.opts.Name,
+		"quorum":  g.opts.ReadyQuorum,
+		"shards":  rows,
+	})
+}
+
+// Close stops accepting, severs every agent connection, and drains the ops
+// plane. Idempotent.
+func (g *Gateway) Close() error {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.mu.Lock()
+	g.closed = true
+	for nc := range g.conns {
+		_ = nc.Close()
+	}
+	g.mu.Unlock()
+	err := g.ln.Close()
+	if errors.Is(err, net.ErrClosed) {
+		err = nil
+	}
+	g.wg.Wait()
+	if oerr := g.ops.Close(); err == nil {
+		err = oerr
+	}
+	return err
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		nc, err := g.ln.Accept()
+		if err != nil {
+			g.mu.Lock()
+			closed := g.closed
+			g.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			g.opts.Logf("gateway: accept: %v", err)
+			continue
+		}
+		g.wg.Add(1)
+		go g.handle(nc)
+	}
+}
+
+func (g *Gateway) recheckLoop() {
+	defer g.wg.Done()
+	t := time.NewTicker(g.opts.RecheckInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			g.reg.recheck(g.opts.DialTimeout)
+			for _, s := range g.reg.Shards() {
+				g.met.shard(s.Name()).setHealth(s.Healthy())
+			}
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+// session is the routing state of one inbound agent connection: the
+// remembered hello (replayed to each shard on first contact) and one lazy
+// upstream connection per shard.
+type session struct {
+	hello    *wire.Hello
+	upstream map[string]*wire.Conn
+	r        *rng.Rand
+}
+
+func (g *Gateway) newSession() *session {
+	return &session{
+		upstream: make(map[string]*wire.Conn),
+		r:        rng.NewNamed(g.opts.Seed, fmt.Sprintf("gateway-session-%d", g.sessionSeq.Add(1))),
+	}
+}
+
+func (sess *session) closeUpstream() {
+	for _, c := range sess.upstream {
+		_ = c.Close()
+	}
+}
+
+// handle runs one agent connection's request/response loop, mirroring the
+// coordinator's: every request gets exactly one reply; malformed requests
+// get an error reply and terminate the connection; an unavailable shard
+// gets an error reply but keeps the connection (the region may recover).
+func (g *Gateway) handle(nc net.Conn) {
+	defer g.wg.Done()
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		_ = nc.Close()
+		return
+	}
+	g.conns[nc] = struct{}{}
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.conns, nc)
+		g.mu.Unlock()
+	}()
+	if g.met != nil {
+		g.met.conns.Inc()
+	}
+	c := wire.NewConn(nc).Instrument(g.met.wire)
+	defer c.Close()
+	sess := g.newSession()
+	defer sess.closeUpstream()
+	for {
+		if g.opts.IdleTimeout > 0 {
+			_ = nc.SetReadDeadline(time.Now().Add(g.opts.IdleTimeout))
+		}
+		req, err := c.Recv()
+		if err != nil {
+			switch {
+			case errors.Is(err, wire.ErrMessageTooLarge):
+				if g.met != nil {
+					g.met.protoErrors.Inc()
+				}
+				_ = c.Send(errEnvelope("message too large"))
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				if g.met != nil {
+					g.met.idleTimeouts.Inc()
+				}
+			}
+			return
+		}
+		t0 := time.Now()
+		reply, fatal := g.dispatch(sess, req)
+		if g.met != nil {
+			g.met.routeSec.Observe(time.Since(t0).Seconds())
+			if reply.Type == wire.TypeError {
+				g.met.protoErrors.Inc()
+			}
+		}
+		if err := c.Send(reply); err != nil {
+			return
+		}
+		if fatal {
+			return
+		}
+	}
+}
+
+func errEnvelope(msg string) wire.Envelope {
+	return wire.Envelope{Type: wire.TypeError, Error: &wire.ErrorMsg{Message: msg}}
+}
+
+// dispatch routes one request. fatal=true closes the agent connection
+// after replying (malformed traffic only — degraded shards are not the
+// agent's fault).
+func (g *Gateway) dispatch(sess *session, req wire.Envelope) (reply wire.Envelope, fatal bool) {
+	switch req.Type {
+	case wire.TypeHello:
+		if req.Hello == nil || req.Hello.ClientID == "" {
+			return errEnvelope("hello requires a client id"), true
+		}
+		// Remember the hello; it is replayed to each shard the session
+		// first touches, so shards see the same registration they would on
+		// a direct connection. The ack is answered locally — agents must
+		// not block on any shard just to say hello.
+		h := *req.Hello
+		sess.hello = &h
+		return wire.Envelope{Type: wire.TypeHelloAck, HelloAck: &wire.HelloAck{
+			ServerID:        g.opts.Name,
+			TaskIntervalSec: g.opts.TaskInterval.Seconds(),
+		}}, false
+
+	case wire.TypeZoneReport:
+		zr := req.ZoneReport
+		if zr == nil || zr.ClientID == "" {
+			return errEnvelope("zone report requires a client id"), true
+		}
+		sh, ok := g.reg.ShardFor(zr.Loc)
+		if !ok {
+			if g.met != nil {
+				g.met.unroutable.Inc()
+			}
+			return errEnvelope(fmt.Sprintf("no shard covers location %s", zr.Loc)), false
+		}
+		g.met.shard(sh.Name()).markRouted()
+		up, err := g.forward(sess, sh, req)
+		if err != nil {
+			return errEnvelope(fmt.Sprintf("shard %s unavailable: %v", sh.Name(), err)), false
+		}
+		if up.Type != wire.TypeTaskList {
+			return errEnvelope(fmt.Sprintf("shard %s: unexpected reply %q", sh.Name(), up.Type)), false
+		}
+		return up, false
+
+	case wire.TypeSampleReport:
+		sr := req.SampleReport
+		if sr == nil {
+			return errEnvelope("empty sample report"), true
+		}
+		return g.routeSamples(sess, sr), false
+
+	case wire.TypeEstimateRequest:
+		if req.EstimateRequest == nil {
+			return errEnvelope("empty estimate request"), true
+		}
+		return g.fanoutEstimate(sess, req), false
+
+	case wire.TypeZoneListRequest:
+		if req.ZoneListRequest == nil {
+			return errEnvelope("empty zone list request"), true
+		}
+		return g.fanoutZoneList(sess, req), false
+
+	default:
+		return errEnvelope(fmt.Sprintf("unexpected message type %q", req.Type)), true
+	}
+}
+
+// routeSamples splits one sample report by owning shard and forwards each
+// group. Samples whose shard is down (or that no shard covers) are dropped
+// and counted; the agent still gets an ack for what landed, so one dead
+// region never poisons a whole upload.
+func (g *Gateway) routeSamples(sess *session, sr *wire.SampleReport) wire.Envelope {
+	groups := make(map[*Shard][]trace.Sample)
+	var order []*Shard // deterministic forwarding order
+	unroutable := 0
+	for _, smp := range sr.Samples {
+		sh, ok := g.reg.ShardFor(smp.Loc)
+		if !ok {
+			unroutable++
+			continue
+		}
+		if _, seen := groups[sh]; !seen {
+			order = append(order, sh)
+		}
+		groups[sh] = append(groups[sh], smp)
+	}
+	if g.met != nil && unroutable > 0 {
+		g.met.unroutable.Add(float64(unroutable))
+		g.met.droppedSmps.Add(float64(unroutable))
+	}
+	accepted := 0
+	failed := 0
+	var lastErr error
+	for _, sh := range order {
+		smps := groups[sh]
+		g.met.shard(sh.Name()).markRouted()
+		up, err := g.forward(sess, sh, wire.Envelope{Type: wire.TypeSampleReport, SampleReport: &wire.SampleReport{
+			ClientID: sr.ClientID,
+			Samples:  smps,
+		}})
+		if err != nil || up.Type != wire.TypeSampleAck {
+			if err == nil {
+				err = fmt.Errorf("unexpected reply %q", up.Type)
+			}
+			lastErr = fmt.Errorf("shard %s: %w", sh.Name(), err)
+			failed += len(smps)
+			if g.met != nil {
+				g.met.droppedSmps.Add(float64(len(smps)))
+			}
+			continue
+		}
+		accepted += up.SampleAck.Accepted
+	}
+	if accepted == 0 && failed > 0 {
+		return errEnvelope(fmt.Sprintf("all shards unavailable for report: %v", lastErr))
+	}
+	return wire.Envelope{Type: wire.TypeSampleAck, SampleAck: &wire.SampleAck{Accepted: accepted}}
+}
+
+// fanoutEstimate queries shards in registration order and returns the
+// first found record. Zone IDs are shard-grid-relative, so two shards can
+// in principle both publish the queried ID; registration order breaks the
+// tie, the same rule core.Federation uses for overlapping boxes.
+// Unavailable shards are skipped: a degraded region degrades its own
+// answers only.
+func (g *Gateway) fanoutEstimate(sess *session, req wire.Envelope) wire.Envelope {
+	for _, sh := range g.reg.Shards() {
+		up, err := g.forward(sess, sh, req)
+		if err != nil {
+			continue
+		}
+		if up.Type == wire.TypeEstimateReply && up.EstimateReply.Found {
+			return up
+		}
+	}
+	return wire.Envelope{Type: wire.TypeEstimateReply, EstimateReply: &wire.EstimateReply{Found: false}}
+}
+
+// fanoutZoneList merges every reachable shard's records into one reply,
+// ordered deterministically by (zone, network, metric).
+func (g *Gateway) fanoutZoneList(sess *session, req wire.Envelope) wire.Envelope {
+	var records []core.Record
+	for _, sh := range g.reg.Shards() {
+		up, err := g.forward(sess, sh, req)
+		if err != nil || up.Type != wire.TypeZoneListReply {
+			continue
+		}
+		records = append(records, up.ZoneListReply.Records...)
+	}
+	sort.Slice(records, func(i, j int) bool {
+		a, b := records[i].Key, records[j].Key
+		if a.Zone != b.Zone {
+			if a.Zone.X != b.Zone.X {
+				return a.Zone.X < b.Zone.X
+			}
+			return a.Zone.Y < b.Zone.Y
+		}
+		if a.Net != b.Net {
+			return a.Net < b.Net
+		}
+		return a.Metric < b.Metric
+	})
+	return wire.Envelope{Type: wire.TypeZoneListReply, ZoneListReply: &wire.ZoneListReply{Records: records}}
+}
+
+// forward sends one request to sh over the session's cached upstream
+// connection (dialing and replaying the hello if needed), bounded by the
+// request timeout and retried on a fresh connection with jittered backoff.
+// Failures feed the shard's circuit breaker; an open breaker fails fast.
+func (g *Gateway) forward(sess *session, sh *Shard, req wire.Envelope) (wire.Envelope, error) {
+	req.Via = &wire.Via{Gateway: g.opts.Name, Shard: sh.Name()}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if !sh.allow(time.Now()) {
+			if lastErr != nil {
+				return wire.Envelope{}, fmt.Errorf("circuit open: %w", lastErr)
+			}
+			return wire.Envelope{}, errors.New("circuit open")
+		}
+		reply, err := g.tryForward(sess, sh, req)
+		if err == nil {
+			sh.recordSuccess()
+			g.met.shard(sh.Name()).markForwarded()
+			return reply, nil
+		}
+		lastErr = err
+		sh.recordFailure(time.Now(), g.opts.FailureThreshold, g.opts.BreakCooldown)
+		g.met.shard(sh.Name()).markFailed(sh.Healthy())
+		if attempt >= g.opts.RetryAttempts {
+			return wire.Envelope{}, lastErr
+		}
+		time.Sleep(g.opts.RetryBackoff.Delay(attempt, sess.r))
+	}
+}
+
+// tryForward performs one upstream round trip, discarding the cached
+// connection on any failure so the next attempt redials.
+func (g *Gateway) tryForward(sess *session, sh *Shard, req wire.Envelope) (wire.Envelope, error) {
+	up, err := g.upstream(sess, sh)
+	if err != nil {
+		return wire.Envelope{}, err
+	}
+	_ = up.SetDeadline(time.Now().Add(g.opts.RequestTimeout))
+	reply, err := up.Request(req)
+	if err != nil {
+		g.dropUpstream(sess, sh)
+		return wire.Envelope{}, err
+	}
+	_ = up.SetDeadline(time.Time{})
+	return reply, nil
+}
+
+// upstream returns the session's connection to sh, dialing (and replaying
+// the session hello, so the shard registers the client exactly as a direct
+// connection would) on first use.
+func (g *Gateway) upstream(sess *session, sh *Shard) (*wire.Conn, error) {
+	if c, ok := sess.upstream[sh.Name()]; ok {
+		return c, nil
+	}
+	nc, err := net.DialTimeout("tcp", sh.Addr(), g.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial: %w", err)
+	}
+	c := wire.NewConn(nc).Instrument(g.met.wire)
+	if sess.hello != nil {
+		_ = c.SetDeadline(time.Now().Add(g.opts.RequestTimeout))
+		ack, err := c.Request(wire.Envelope{
+			Type:  wire.TypeHello,
+			Via:   &wire.Via{Gateway: g.opts.Name, Shard: sh.Name()},
+			Hello: sess.hello,
+		})
+		if err != nil {
+			_ = c.Close()
+			return nil, fmt.Errorf("hello replay: %w", err)
+		}
+		if ack.Type != wire.TypeHelloAck {
+			_ = c.Close()
+			return nil, fmt.Errorf("hello replay: unexpected reply %q", ack.Type)
+		}
+		_ = c.SetDeadline(time.Time{})
+	}
+	sess.upstream[sh.Name()] = c
+	return c, nil
+}
+
+func (g *Gateway) dropUpstream(sess *session, sh *Shard) {
+	if c, ok := sess.upstream[sh.Name()]; ok {
+		_ = c.Close()
+		delete(sess.upstream, sh.Name())
+	}
+}

@@ -1,0 +1,437 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cluster/swarm"
+	"repro/internal/coordinator"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+const seed = 4242
+
+var start = time.Date(2010, 9, 6, 9, 0, 0, 0, time.UTC)
+
+// startShard runs one regional coordinator whose controller grid is
+// centered on its box, like a real deployment would.
+func startShard(t *testing.T, box geo.BoundingBox, addr string) (*coordinator.Server, *core.Controller) {
+	t.Helper()
+	ctrl := core.NewController(core.DefaultConfig(), box.Center())
+	s, err := coordinator.Serve(ctrl, addr, coordinator.Options{
+		Networks:     []radio.NetworkID{radio.NetB},
+		Metrics:      []trace.Metric{trace.MetricUDPKbps},
+		TaskInterval: time.Minute,
+		Seed:         seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s, ctrl
+}
+
+// crossTrack parks the client at a until mid, then teleports it to b —
+// the simplest campaign spanning two regions.
+type crossTrack struct {
+	a, b geo.Point
+	mid  time.Time
+}
+
+func (tr crossTrack) Pose(t time.Time) mobility.Pose {
+	p := tr.a
+	if !t.Before(tr.mid) {
+		p = tr.b
+	}
+	return mobility.Pose{Loc: p, Active: true}
+}
+
+// testCluster is two regional shards (Madison + New Brunswick) behind one
+// gateway with an ops plane and a shared telemetry registry.
+type testCluster struct {
+	gw       *Gateway
+	reg      *telemetry.Registry
+	madison  *coordinator.Server
+	nj       *coordinator.Server
+	madCtrl  *core.Controller
+	njCtrl   *core.Controller
+	registry *Registry
+}
+
+func startCluster(t *testing.T, opts GatewayOptions) *testCluster {
+	t.Helper()
+	tc := &testCluster{reg: telemetry.NewRegistry()}
+	tc.madison, tc.madCtrl = startShard(t, geo.Madison(), "127.0.0.1:0")
+	tc.nj, tc.njCtrl = startShard(t, geo.NewBrunswickArea(), "127.0.0.1:0")
+	var err error
+	tc.registry, err = NewRegistry([]ShardConfig{
+		{Name: "madison", Addr: tc.madison.Addr(), Box: geo.Madison()},
+		{Name: "new-jersey", Addr: tc.nj.Addr(), Box: geo.NewBrunswickArea()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.TaskInterval = time.Minute
+	opts.Telemetry = tc.reg
+	opts.OpsAddr = "127.0.0.1:0"
+	opts.Seed = seed
+	tc.gw, err = ServeGateway(tc.registry, "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tc.gw.Close() })
+	return tc
+}
+
+// shardCounter reads a per-shard counter from the cluster's registry
+// (re-registration with an identical schema fetches the existing family).
+func (tc *testCluster) shardCounter(name, shard string) float64 {
+	return tc.reg.Counter(name, "", "shard").With(shard).Value()
+}
+
+// counter reads an unlabeled gateway counter.
+func (tc *testCluster) counter(name string) float64 {
+	return tc.reg.Counter(name, "").With().Value()
+}
+
+func httpStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// regionSamples sums the ingested samples of a controller and checks every
+// touched zone's center lies inside box — proof the sample landed on the
+// shard that owns it.
+func regionSamples(t *testing.T, ctrl *core.Controller, box geo.BoundingBox, name string) int64 {
+	t.Helper()
+	var total int64
+	for _, key := range ctrl.Keys() {
+		center := ctrl.Grid().Center(key.Zone)
+		if !box.Contains(center) {
+			t.Errorf("shard %s holds zone %s centered at %s, outside its box", name, key.Zone, center)
+		}
+		total += ctrl.SampleCount(key)
+	}
+	return total
+}
+
+// TestAgentCampaignSpansTwoShards is the acceptance proof: an unmodified
+// agent.Agent pointed at the gateway completes a campaign whose track
+// crosses from Wisconsin to New Jersey, and every sample lands in the
+// controller of the shard owning its location.
+func TestAgentCampaignSpansTwoShards(t *testing.T) {
+	tc := startCluster(t, GatewayOptions{})
+
+	env := radio.NewEnvironment([]radio.NetworkID{radio.NetB}, radio.RegionWI, seed, geo.Madison().Center())
+	a := &agent.Agent{
+		ID:          "cross-country",
+		DeviceClass: "laptop",
+		Track: crossTrack{
+			a:   geo.MadisonStaticSites()[0],
+			b:   geo.NJStaticSites()[0], // New Brunswick: inside the NJ shard's box
+			mid: start.Add(time.Hour),
+		},
+		Env:      env,
+		Networks: []radio.NetworkID{radio.NetB},
+		Seed:     seed,
+		Grid:     geo.GridForZoneRadius(geo.Madison().Center(), 250),
+	}
+
+	st, err := a.Run(tc.gw.Addr(), start, 2*time.Hour, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds != 120 {
+		t.Fatalf("rounds %d, want 120", st.Rounds)
+	}
+	if st.SamplesSent == 0 {
+		t.Fatal("campaign produced no samples")
+	}
+
+	madison := regionSamples(t, tc.madCtrl, geo.Madison(), "madison")
+	nj := regionSamples(t, tc.njCtrl, geo.NewBrunswickArea(), "new-jersey")
+	if madison == 0 || nj == 0 {
+		t.Fatalf("samples per shard: madison=%d nj=%d, want both > 0", madison, nj)
+	}
+	if madison+nj != int64(st.SamplesSent) {
+		t.Fatalf("shards hold %d samples, agent sent %d", madison+nj, st.SamplesSent)
+	}
+
+	if r := tc.shardCounter("wiscape_gateway_routed_total", "madison"); r == 0 {
+		t.Fatal("no requests routed to madison")
+	}
+	if r := tc.shardCounter("wiscape_gateway_routed_total", "new-jersey"); r == 0 {
+		t.Fatal("no requests routed to new-jersey")
+	}
+	if f := tc.shardCounter("wiscape_gateway_failed_total", "madison") +
+		tc.shardCounter("wiscape_gateway_failed_total", "new-jersey"); f != 0 {
+		t.Fatalf("healthy cluster recorded %v upstream failures", f)
+	}
+
+	// Query fan-out: the bulk zone list merges both shards' published
+	// records (each region saw >30 virtual minutes of samples, enough to
+	// roll an epoch and publish).
+	records, err := agent.QueryZoneList(tc.gw.Addr(), radio.NetB, trace.MetricUDPKbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 2 {
+		t.Fatalf("merged zone list has %d records, want records from both shards", len(records))
+	}
+
+	// Point estimate through the gateway answers from the owning shard.
+	zone := tc.madCtrl.ZoneOf(geo.MadisonStaticSites()[0])
+	est, err := agent.QueryEstimate(tc.gw.Addr(), zone, radio.NetB, trace.MetricUDPKbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Found || est.Record.MeanValue <= 0 {
+		t.Fatalf("estimate through gateway: %+v", est)
+	}
+}
+
+// TestGatewayDegradesWhenShardDies kills one region mid-session and checks
+// the blast radius: that region's reports fail fast with explicit errors,
+// the other region keeps working on the same connection, /readyz and the
+// per-shard metrics reflect the loss, and a restarted shard is revived by
+// the background recheck.
+func TestGatewayDegradesWhenShardDies(t *testing.T) {
+	tc := startCluster(t, GatewayOptions{
+		FailureThreshold: 1,
+		BreakCooldown:    time.Hour, // only the recheck loop may revive it
+		RecheckInterval:  50 * time.Millisecond,
+		RetryAttempts:    1,
+		RequestTimeout:   2 * time.Second,
+	})
+	madisonLoc := geo.MadisonStaticSites()[0]
+	njLoc := geo.NJStaticSites()[0]
+
+	nc, err := net.Dial("tcp", tc.gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := wire.NewConn(nc)
+	defer c.Close()
+
+	zoneReport := func(loc geo.Point, at time.Time) wire.Envelope {
+		reply, err := c.Request(wire.Envelope{Type: wire.TypeZoneReport, ZoneReport: &wire.ZoneReport{
+			ClientID: "degrade-probe",
+			Zone:     geo.GridForZoneRadius(loc, 250).Zone(loc),
+			Loc:      loc,
+			At:       at,
+		}})
+		if err != nil {
+			t.Fatalf("zone report round trip: %v", err)
+		}
+		return reply
+	}
+
+	if _, err := c.Request(wire.Envelope{Type: wire.TypeHello, Hello: &wire.Hello{ClientID: "degrade-probe"}}); err != nil {
+		t.Fatal(err)
+	}
+	if r := zoneReport(madisonLoc, start); r.Type != wire.TypeTaskList {
+		t.Fatalf("madison report before failure: %v", r.Type)
+	}
+	if r := zoneReport(njLoc, start); r.Type != wire.TypeTaskList {
+		t.Fatalf("nj report before failure: %v", r.Type)
+	}
+	if got := httpStatus(t, "http://"+tc.gw.OpsAddr()+"/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz with both shards up = %d", got)
+	}
+
+	njAddr := tc.nj.Addr()
+	if err := tc.nj.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The dead region degrades to an explicit error on the same agent
+	// connection...
+	r := zoneReport(njLoc, start.Add(time.Minute))
+	if r.Type != wire.TypeError || !strings.Contains(r.Error.Message, "new-jersey") {
+		t.Fatalf("dead-shard report: %+v", r)
+	}
+	// ...while the healthy region keeps serving that connection.
+	if r := zoneReport(madisonLoc, start.Add(time.Minute)); r.Type != wire.TypeTaskList {
+		t.Fatalf("madison report after nj death: %v", r.Type)
+	}
+
+	// A mixed upload lands the healthy region's samples and drops the rest.
+	mk := func(loc geo.Point) trace.Sample {
+		return trace.Sample{Time: start.Add(2 * time.Minute), Loc: loc, Network: radio.NetB,
+			Metric: trace.MetricUDPKbps, Value: 900, ClientID: "degrade-probe"}
+	}
+	ack, err := c.Request(wire.Envelope{Type: wire.TypeSampleReport, SampleReport: &wire.SampleReport{
+		ClientID: "degrade-probe",
+		Samples:  []trace.Sample{mk(madisonLoc), mk(njLoc), mk(madisonLoc)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Type != wire.TypeSampleAck || ack.SampleAck.Accepted != 2 {
+		t.Fatalf("mixed upload ack: %+v", ack)
+	}
+	if d := tc.counter("wiscape_gateway_samples_dropped_total"); d != 1 {
+		t.Fatalf("dropped samples %v, want 1", d)
+	}
+
+	// Health surfaces everywhere it should.
+	if f := tc.shardCounter("wiscape_gateway_failed_total", "new-jersey"); f == 0 {
+		t.Fatal("per-shard failure counter did not move")
+	}
+	if h := tc.reg.Gauge("wiscape_gateway_shard_healthy", "", "shard").With("new-jersey").Value(); h != 0 {
+		t.Fatalf("shard_healthy{new-jersey} = %v, want 0", h)
+	}
+	if tc.registry.HealthyCount() != 1 {
+		t.Fatalf("healthy count %d, want 1", tc.registry.HealthyCount())
+	}
+	if got := httpStatus(t, "http://"+tc.gw.OpsAddr()+"/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with a dead shard = %d, want 503 (quorum is majority of 2 = 2)", got)
+	}
+
+	// Restart the region on the same address: the background recheck must
+	// revive it without any agent traffic.
+	var revived *coordinator.Server
+	ctrl := core.NewController(core.DefaultConfig(), geo.NewBrunswickArea().Center())
+	for i := 0; i < 100; i++ { // the port may linger briefly
+		revived, err = coordinator.Serve(ctrl, njAddr, coordinator.Options{
+			Networks: []radio.NetworkID{radio.NetB}, Metrics: []trace.Metric{trace.MetricUDPKbps},
+			TaskInterval: time.Minute, Seed: seed,
+		})
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("restart shard: %v", err)
+	}
+	defer revived.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for tc.registry.HealthyCount() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("recheck never revived the restarted shard")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := httpStatus(t, "http://"+tc.gw.OpsAddr()+"/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz after revival = %d", got)
+	}
+	if r := zoneReport(njLoc, start.Add(3*time.Minute)); r.Type != wire.TypeTaskList {
+		t.Fatalf("nj report after revival: %v", r.Type)
+	}
+}
+
+// TestGatewayRejectsUnroutableAndMalformed covers the protocol edges: a
+// location outside every shard gets a non-fatal error; a malformed request
+// terminates the connection like the coordinator would.
+func TestGatewayRejectsUnroutableAndMalformed(t *testing.T) {
+	tc := startCluster(t, GatewayOptions{})
+	nc, err := net.Dial("tcp", tc.gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := wire.NewConn(nc)
+	defer c.Close()
+
+	reply, err := c.Request(wire.Envelope{Type: wire.TypeZoneReport, ZoneReport: &wire.ZoneReport{
+		ClientID: "lost", Loc: geo.Point{Lat: 0, Lon: 0}, At: start,
+	}})
+	if err != nil || reply.Type != wire.TypeError {
+		t.Fatalf("unroutable report: %v %v", reply.Type, err)
+	}
+	if u := tc.counter("wiscape_gateway_unroutable_total"); u != 1 {
+		t.Fatalf("unroutable counter %v", u)
+	}
+	// The connection survived the unroutable report...
+	reply, err = c.Request(wire.Envelope{Type: wire.TypeZoneReport, ZoneReport: &wire.ZoneReport{
+		ClientID: "lost", Loc: geo.MadisonStaticSites()[0], At: start,
+	}})
+	if err != nil || reply.Type != wire.TypeTaskList {
+		t.Fatalf("routable report after unroutable: %v %v", reply.Type, err)
+	}
+	// ...but a malformed one is fatal.
+	reply, err = c.Request(wire.Envelope{Type: wire.TypeZoneReport})
+	if err != nil || reply.Type != wire.TypeError {
+		t.Fatalf("malformed report: %v %v", reply.Type, err)
+	}
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("connection must close after a malformed request")
+	}
+}
+
+// TestSwarmThroughGateway drives the acceptance load: 200 concurrent
+// simulated agents split across both regions push through the gateway and
+// every sample is accepted by a shard.
+func TestSwarmThroughGateway(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-agent swarm in -short mode")
+	}
+	tc := startCluster(t, GatewayOptions{})
+	res, err := swarm.Run(tc.gw.Addr(), swarm.Options{
+		Agents:          200,
+		Rounds:          3,
+		SamplesPerRound: 3,
+		Regions:         []geo.BoundingBox{geo.Madison(), geo.NewBrunswickArea()},
+		Seed:            seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AgentsCompleted != 200 || res.Failures != 0 {
+		t.Fatalf("swarm: %d/200 agents completed, %d failures", res.AgentsCompleted, res.Failures)
+	}
+	if want := int64(200 * 3 * 3); res.SamplesAccepted != want {
+		t.Fatalf("samples accepted %d, want %d", res.SamplesAccepted, want)
+	}
+	if res.SamplesPerSec() <= 0 || res.P99 <= 0 {
+		t.Fatalf("throughput/latency not measured: %+v", res)
+	}
+	t.Logf("swarm through gateway: %s", res)
+	if r := tc.shardCounter("wiscape_gateway_routed_total", "madison"); r == 0 {
+		t.Fatal("madison took no swarm traffic")
+	}
+	if r := tc.shardCounter("wiscape_gateway_routed_total", "new-jersey"); r == 0 {
+		t.Fatal("new-jersey took no swarm traffic")
+	}
+}
+
+// TestGatewayShardsEndpoint smoke-tests the live route table.
+func TestGatewayShardsEndpoint(t *testing.T) {
+	tc := startCluster(t, GatewayOptions{})
+	resp, err := http.Get("http://" + tc.gw.OpsAddr() + "/api/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Gateway string `json:"gateway"`
+		Quorum  int    `json:"quorum"`
+		Shards  []struct {
+			Name    string `json:"name"`
+			Healthy bool   `json:"healthy"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Quorum != 2 || len(body.Shards) != 2 || !body.Shards[0].Healthy || !body.Shards[1].Healthy {
+		t.Fatalf("shard table: %+v", body)
+	}
+}

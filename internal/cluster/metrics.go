@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/wire"
+)
+
+// shardMetrics is the pre-resolved per-shard instrument set: label lookups
+// take a lock, so the routing path resolves them once at startup.
+type shardMetrics struct {
+	routed    *telemetry.Counter // requests routed to this shard by location
+	forwarded *telemetry.Counter // upstream requests completed
+	failed    *telemetry.Counter // upstream requests that errored
+	healthy   *telemetry.Gauge   // 1 = breaker closed, 0 = open/half-open
+}
+
+// gatewayMetrics holds the gateway's resolved telemetry instruments; every
+// field is nil-safe so an uninstrumented gateway pays nothing.
+type gatewayMetrics struct {
+	conns        *telemetry.Counter
+	unroutable   *telemetry.Counter // reports whose location no shard covers
+	droppedSmps  *telemetry.Counter // samples lost to unavailable shards
+	routeSec     *telemetry.Histogram
+	perShard     map[string]*shardMetrics
+	wire         *wire.Metrics
+	protoErrors  *telemetry.Counter
+	idleTimeouts *telemetry.Counter
+}
+
+// newGatewayMetrics registers the gateway families on reg (nil reg gives a
+// fully functional no-op set) and resolves one series per shard.
+func newGatewayMetrics(reg *telemetry.Registry, shards []*Shard, healthyCount func() int) *gatewayMetrics {
+	reg.GaugeFunc("wiscape_gateway_healthy_shards",
+		"Shards whose circuit breaker is currently closed.",
+		func() float64 { return float64(healthyCount()) })
+	routed := reg.Counter("wiscape_gateway_routed_total",
+		"Requests routed to a shard by reported location.", "shard")
+	forwarded := reg.Counter("wiscape_gateway_forwarded_total",
+		"Upstream shard requests completed successfully.", "shard")
+	failed := reg.Counter("wiscape_gateway_failed_total",
+		"Upstream shard requests that failed (dial, deadline, or protocol).", "shard")
+	healthy := reg.Gauge("wiscape_gateway_shard_healthy",
+		"Per-shard breaker state: 1 closed (healthy), 0 open.", "shard")
+	m := &gatewayMetrics{
+		conns: reg.Counter("wiscape_gateway_connections_total",
+			"Agent connections accepted by the gateway.").With(),
+		unroutable: reg.Counter("wiscape_gateway_unroutable_total",
+			"Reports dropped because no shard's box covers their location.").With(),
+		droppedSmps: reg.Counter("wiscape_gateway_samples_dropped_total",
+			"Samples lost because their shard was unavailable.").With(),
+		routeSec: reg.Histogram("wiscape_gateway_route_seconds",
+			"End-to-end latency of routing one request (shard round trip included).", nil).With(),
+		protoErrors: reg.Counter("wiscape_gateway_protocol_errors_total",
+			"Requests answered with a protocol error.").With(),
+		idleTimeouts: reg.Counter("wiscape_gateway_idle_disconnects_total",
+			"Agent connections dropped for exceeding the idle timeout.").With(),
+		perShard: make(map[string]*shardMetrics, len(shards)),
+		wire:     wire.NewMetrics(reg),
+	}
+	for _, s := range shards {
+		sm := &shardMetrics{
+			routed:    routed.With(s.Name()),
+			forwarded: forwarded.With(s.Name()),
+			failed:    failed.With(s.Name()),
+			healthy:   healthy.With(s.Name()),
+		}
+		sm.healthy.Set(1)
+		m.perShard[s.Name()] = sm
+	}
+	return m
+}
+
+// shard returns the instrument set for a shard (nil-safe; the returned
+// struct's fields are themselves nil-safe no-ops when uninstrumented).
+func (m *gatewayMetrics) shard(name string) *shardMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.perShard[name]
+}
+
+func (sm *shardMetrics) markRouted() {
+	if sm != nil {
+		sm.routed.Inc()
+	}
+}
+
+func (sm *shardMetrics) markForwarded() {
+	if sm != nil {
+		sm.forwarded.Inc()
+	}
+}
+
+func (sm *shardMetrics) markFailed(stillHealthy bool) {
+	if sm != nil {
+		sm.failed.Inc()
+		sm.setHealth(stillHealthy)
+	}
+}
+
+func (sm *shardMetrics) setHealth(healthy bool) {
+	if sm == nil {
+		return
+	}
+	if healthy {
+		sm.healthy.Set(1)
+	} else {
+		sm.healthy.Set(0)
+	}
+}

@@ -1,0 +1,189 @@
+// Package cluster scales the WiScape coordinator horizontally — the §6
+// goal of growing beyond one metro area, realised as a networked tier
+// rather than the in-process core.Federation. A deployment runs one
+// coordinator per region ("shard"), each owning its own controller, grid
+// origin and durable store, and puts a thin routing gateway in front: agents
+// keep speaking the unmodified internal/wire protocol to one address while
+// their reports land on the shard whose bounding box covers the reported
+// location, and operator queries fan out across shards and merge.
+//
+// The package has three parts: the shard Registry (static shard set plus
+// per-shard health and circuit breaking), the Gateway (protocol router),
+// and the swarm load generator (subpackage swarm) that proves the tier
+// under hundreds-to-thousands of concurrent agents.
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+)
+
+// ShardConfig statically describes one regional coordinator.
+type ShardConfig struct {
+	// Name identifies the shard in logs, metrics and errors (e.g.
+	// "madison").
+	Name string
+	// Addr is the shard coordinator's protocol listener ("host:port").
+	Addr string
+	// Box is the geographic region the shard owns. Shards are matched in
+	// registration order, so register more specific regions first.
+	Box geo.BoundingBox
+}
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // healthy: requests flow
+	breakerOpen                         // broken: requests rejected until cooldown passes
+	breakerHalfOpen                     // probing: one request (or probe) may test the shard
+)
+
+// Shard is one registered coordinator plus its live health state. All
+// methods are safe for concurrent use.
+type Shard struct {
+	cfg ShardConfig
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	reopenAt time.Time // when an open breaker admits a trial request
+}
+
+// Name returns the shard's configured name.
+func (s *Shard) Name() string { return s.cfg.Name }
+
+// Addr returns the shard's protocol address.
+func (s *Shard) Addr() string { return s.cfg.Addr }
+
+// Box returns the shard's owned region.
+func (s *Shard) Box() geo.BoundingBox { return s.cfg.Box }
+
+// Healthy reports whether the breaker is closed (normal traffic flow).
+func (s *Shard) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state == breakerClosed
+}
+
+// allow reports whether a request may be sent to the shard now. An open
+// breaker past its cooldown moves to half-open and admits exactly one
+// trial request; its outcome (recordSuccess / recordFailure) decides
+// whether the breaker closes again or re-opens for another cooldown.
+func (s *Shard) allow(now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Before(s.reopenAt) {
+			return false
+		}
+		s.state = breakerHalfOpen
+		return true
+	default: // half-open: a trial is already in flight
+		return false
+	}
+}
+
+// recordSuccess closes the breaker and resets the failure count.
+func (s *Shard) recordSuccess() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = breakerClosed
+	s.fails = 0
+}
+
+// recordFailure counts one failed request; threshold consecutive failures
+// (or any failure while half-open) trip the breaker open for cooldown.
+func (s *Shard) recordFailure(now time.Time, threshold int, cooldown time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == breakerHalfOpen {
+		s.state = breakerOpen
+		s.reopenAt = now.Add(cooldown)
+		return
+	}
+	s.fails++
+	if s.fails >= threshold {
+		s.state = breakerOpen
+		s.reopenAt = now.Add(cooldown)
+	}
+}
+
+// Registry is the gateway's static shard set. It is immutable after
+// NewRegistry; only the per-shard health state mutates.
+type Registry struct {
+	shards []*Shard
+}
+
+// NewRegistry validates and indexes the configured shards.
+func NewRegistry(cfgs []ShardConfig) (*Registry, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("cluster: registry needs at least one shard")
+	}
+	seen := make(map[string]bool, len(cfgs))
+	r := &Registry{shards: make([]*Shard, 0, len(cfgs))}
+	for _, c := range cfgs {
+		if c.Name == "" {
+			return nil, fmt.Errorf("cluster: shard needs a name")
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("cluster: shard %q registered twice", c.Name)
+		}
+		if c.Addr == "" {
+			return nil, fmt.Errorf("cluster: shard %q needs an address", c.Name)
+		}
+		seen[c.Name] = true
+		r.shards = append(r.shards, &Shard{cfg: c})
+	}
+	return r, nil
+}
+
+// Shards returns the registered shards in registration order.
+func (r *Registry) Shards() []*Shard { return r.shards }
+
+// ShardFor returns the shard owning p, matched in registration order.
+func (r *Registry) ShardFor(p geo.Point) (*Shard, bool) {
+	for _, s := range r.shards {
+		if s.cfg.Box.Contains(p) {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// HealthyCount returns the number of shards with a closed breaker.
+func (r *Registry) HealthyCount() int {
+	n := 0
+	for _, s := range r.shards {
+		if s.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// recheck dials every unhealthy shard once (bounded by dialTimeout) and
+// closes the breaker of any that answer — the "live re-check" that lets a
+// restarted coordinator rejoin without waiting for agent traffic to trip
+// the half-open path. Healthy shards are left alone: regular traffic is
+// their health check.
+func (r *Registry) recheck(dialTimeout time.Duration) {
+	for _, s := range r.shards {
+		if s.Healthy() {
+			continue
+		}
+		nc, err := net.DialTimeout("tcp", s.cfg.Addr, dialTimeout)
+		if err != nil {
+			continue
+		}
+		_ = nc.Close()
+		s.recordSuccess()
+	}
+}

@@ -1,0 +1,302 @@
+// Package swarm is the WiScape scale prover: a load generator that drives
+// N simulated agents (a goroutine each, real TCP connections, the real
+// internal/wire protocol) against a coordinator or cluster gateway and
+// reports ingest throughput and request-latency tails. It deliberately
+// bypasses the full internal/agent measurement stack — samples are
+// synthesized, not simulated — so the benchmark measures the serving tier,
+// not the radio model.
+package swarm
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Options configures one swarm run.
+type Options struct {
+	// Agents is the number of concurrent simulated agents. Default 100.
+	Agents int
+
+	// Rounds is the zone-report/upload rounds each agent performs.
+	// Default 10.
+	Rounds int
+
+	// SamplesPerRound is the synthetic samples uploaded per round.
+	// Default 5.
+	SamplesPerRound int
+
+	// Regions are the areas agents report from; agent i draws all its
+	// locations uniformly from Regions[i%len(Regions)], so a multi-region
+	// swarm exercises every shard. Default: the Madison box.
+	Regions []geo.BoundingBox
+
+	// ZoneRadiusM sizes the zone grid agents derive report zones from;
+	// it should match the coordinator's. Default 250.
+	ZoneRadiusM float64
+
+	// Network and Metric tag the synthetic samples. Defaults: NetB,
+	// udp_kbps.
+	Network radio.NetworkID
+	Metric  trace.Metric
+
+	// Seed makes the synthetic workload reproducible.
+	Seed uint64
+
+	// DialTimeout and RequestTimeout bound each connection attempt and
+	// round trip. Defaults: 5s and 10s.
+	DialTimeout    time.Duration
+	RequestTimeout time.Duration
+
+	// Start is the virtual campaign time stamped on samples (wall time
+	// never enters the workload). Interval is the virtual advance per
+	// round. Defaults: 2010-09-06T09:00Z, 5 minutes.
+	Start    time.Time
+	Interval time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Agents <= 0 {
+		o.Agents = 100
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 10
+	}
+	if o.SamplesPerRound <= 0 {
+		o.SamplesPerRound = 5
+	}
+	if len(o.Regions) == 0 {
+		o.Regions = []geo.BoundingBox{geo.Madison()}
+	}
+	if o.ZoneRadiusM <= 0 {
+		o.ZoneRadiusM = 250
+	}
+	if o.Network == "" {
+		o.Network = radio.NetB
+	}
+	if o.Metric == "" {
+		o.Metric = trace.MetricUDPKbps
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.Start.IsZero() {
+		o.Start = time.Date(2010, 9, 6, 9, 0, 0, 0, time.UTC)
+	}
+	if o.Interval <= 0 {
+		o.Interval = 5 * time.Minute
+	}
+}
+
+// Result summarizes one swarm run.
+type Result struct {
+	Agents          int
+	Rounds          int
+	SamplesPerRound int
+	Elapsed         time.Duration
+
+	Requests        int64 // protocol round trips attempted (hello included)
+	Failures        int64 // round trips that errored or got an error reply
+	AgentsCompleted int   // agents that finished every round
+	SamplesAccepted int64 // samples acknowledged by the server
+
+	// Request-latency distribution over successful round trips.
+	P50, P95, P99, MaxLatency time.Duration
+}
+
+// RequestsPerSec is the sustained protocol round-trip rate.
+func (r Result) RequestsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// SamplesPerSec is the sustained ingest throughput — the headline number
+// for gateway-vs-direct comparisons.
+func (r Result) SamplesPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.SamplesAccepted) / r.Elapsed.Seconds()
+}
+
+// String renders the operator-facing report.
+func (r Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "swarm: %d agents x %d rounds x %d samples in %v\n",
+		r.Agents, r.Rounds, r.SamplesPerRound, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  completed agents: %d/%d   requests: %d (%.0f/s, %d failed)\n",
+		r.AgentsCompleted, r.Agents, r.Requests, r.RequestsPerSec(), r.Failures)
+	fmt.Fprintf(&b, "  ingest: %d samples accepted (%.0f samples/s)\n",
+		r.SamplesAccepted, r.SamplesPerSec())
+	fmt.Fprintf(&b, "  latency: p50 %v  p95 %v  p99 %v  max %v",
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
+		r.P99.Round(time.Microsecond), r.MaxLatency.Round(time.Microsecond))
+	return b.String()
+}
+
+// agentTally is one goroutine's private scratch, merged after the run so
+// the hot loop never shares state.
+type agentTally struct {
+	requests  int64
+	failures  int64
+	accepted  int64
+	completed bool
+	latencies []float64 // seconds per successful round trip
+}
+
+// Run drives the swarm against addr (a coordinator or a gateway — the
+// protocol is identical, which is the point) and blocks until every agent
+// finishes or fails.
+func Run(addr string, opts Options) (Result, error) {
+	opts.fill()
+	if addr == "" {
+		return Result{}, fmt.Errorf("swarm: target address required")
+	}
+	grids := make([]*geo.Grid, len(opts.Regions))
+	for i, box := range opts.Regions {
+		grids[i] = geo.GridForZoneRadius(box.Center(), opts.ZoneRadiusM)
+	}
+
+	tallies := make([]agentTally, opts.Agents)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < opts.Agents; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			region := opts.Regions[i%len(opts.Regions)]
+			grid := grids[i%len(opts.Regions)]
+			runAgent(addr, opts, i, region, grid, &tallies[i])
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := Result{
+		Agents:          opts.Agents,
+		Rounds:          opts.Rounds,
+		SamplesPerRound: opts.SamplesPerRound,
+		Elapsed:         elapsed,
+	}
+	var lat []float64
+	for i := range tallies {
+		t := &tallies[i]
+		res.Requests += t.requests
+		res.Failures += t.failures
+		res.SamplesAccepted += t.accepted
+		if t.completed {
+			res.AgentsCompleted++
+		}
+		lat = append(lat, t.latencies...)
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		res.P50 = secs(stats.Percentile(lat, 50))
+		res.P95 = secs(stats.Percentile(lat, 95))
+		res.P99 = secs(stats.Percentile(lat, 99))
+		res.MaxLatency = secs(lat[len(lat)-1])
+	}
+	return res, nil
+}
+
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// runAgent is one simulated agent's whole life: dial, hello, then Rounds
+// of zone report + synthetic sample upload. A transport error ends the
+// agent (resilience is the real agent's job; the swarm measures the
+// server); an error *reply* counts as a failure but the agent carries on,
+// which is what keeps a half-degraded cluster measurable.
+func runAgent(addr string, opts Options, idx int, region geo.BoundingBox, grid *geo.Grid, tally *agentTally) {
+	r := rng.NewNamed(opts.Seed, fmt.Sprintf("swarm-agent-%d", idx))
+	id := fmt.Sprintf("swarm-%04d", idx)
+
+	nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		tally.failures++
+		return
+	}
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+
+	request := func(e wire.Envelope) (wire.Envelope, bool) {
+		tally.requests++
+		_ = conn.SetDeadline(time.Now().Add(opts.RequestTimeout))
+		t0 := time.Now()
+		reply, err := conn.Request(e)
+		if err != nil {
+			tally.failures++
+			return wire.Envelope{}, false
+		}
+		tally.latencies = append(tally.latencies, time.Since(t0).Seconds())
+		if reply.Type == wire.TypeError {
+			tally.failures++
+			return reply, false
+		}
+		return reply, true
+	}
+
+	if _, ok := request(wire.Envelope{Type: wire.TypeHello, Hello: &wire.Hello{
+		ClientID: id, DeviceClass: "swarm",
+	}}); !ok {
+		return
+	}
+
+	for round := 0; round < opts.Rounds; round++ {
+		at := opts.Start.Add(time.Duration(round) * opts.Interval)
+		loc := geo.Point{
+			Lat: r.Range(region.MinLat, region.MaxLat),
+			Lon: r.Range(region.MinLon, region.MaxLon),
+		}
+		reply, ok := request(wire.Envelope{Type: wire.TypeZoneReport, ZoneReport: &wire.ZoneReport{
+			ClientID: id,
+			Zone:     grid.Zone(loc),
+			Loc:      loc,
+			At:       at,
+			Networks: []radio.NetworkID{opts.Network},
+		}})
+		if !ok && reply.Type == "" {
+			return // transport failure: this agent is done
+		}
+
+		samples := make([]trace.Sample, opts.SamplesPerRound)
+		for j := range samples {
+			samples[j] = trace.Sample{
+				Time:     at,
+				Loc:      loc,
+				Network:  opts.Network,
+				Metric:   opts.Metric,
+				Value:    r.Range(100, 2000),
+				ClientID: id,
+				Device:   "swarm",
+			}
+		}
+		ack, ok := request(wire.Envelope{Type: wire.TypeSampleReport, SampleReport: &wire.SampleReport{
+			ClientID: id, Samples: samples,
+		}})
+		if !ok {
+			if ack.Type == "" {
+				return
+			}
+			continue
+		}
+		if ack.Type == wire.TypeSampleAck {
+			tally.accepted += int64(ack.SampleAck.Accepted)
+		}
+	}
+	tally.completed = true
+}

@@ -1,0 +1,84 @@
+package swarm
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/coordinator"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/trace"
+)
+
+// TestSwarmAgainstCoordinator runs a small swarm straight at one
+// coordinator: every agent must finish, every sample must be accepted, and
+// the latency tail must be populated.
+func TestSwarmAgainstCoordinator(t *testing.T) {
+	ctrl := core.NewController(core.DefaultConfig(), geo.Madison().Center())
+	srv, err := coordinator.Serve(ctrl, "127.0.0.1:0", coordinator.Options{
+		Networks:     []radio.NetworkID{radio.NetB},
+		Metrics:      []trace.Metric{trace.MetricUDPKbps},
+		TaskInterval: time.Minute,
+		Seed:         77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	res, err := Run(srv.Addr(), Options{
+		Agents:          25,
+		Rounds:          3,
+		SamplesPerRound: 4,
+		Seed:            77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AgentsCompleted != 25 {
+		t.Fatalf("completed %d/25 agents", res.AgentsCompleted)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("%d failed round trips", res.Failures)
+	}
+	// hello + (zone report + upload) per round, per agent.
+	if want := int64(25 * (1 + 2*3)); res.Requests != want {
+		t.Fatalf("requests %d, want %d", res.Requests, want)
+	}
+	if want := int64(25 * 3 * 4); res.SamplesAccepted != want {
+		t.Fatalf("accepted %d samples, want %d", res.SamplesAccepted, want)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.MaxLatency < res.P99 {
+		t.Fatalf("latency distribution inconsistent: %+v", res)
+	}
+	if res.SamplesPerSec() <= 0 || res.RequestsPerSec() <= 0 {
+		t.Fatalf("throughput not measured: %+v", res)
+	}
+	// The controller really holds the samples (no silent ack path).
+	var total int64
+	for _, key := range ctrl.Keys() {
+		total += ctrl.SampleCount(key)
+	}
+	if total != res.SamplesAccepted {
+		t.Fatalf("controller holds %d samples, swarm says %d accepted", total, res.SamplesAccepted)
+	}
+}
+
+func TestSwarmRequiresAddress(t *testing.T) {
+	if _, err := Run("", Options{}); err == nil {
+		t.Fatal("empty address must error")
+	}
+}
+
+// TestSwarmReportsDialFailures points the swarm at a dead port: nothing
+// completes, everything is a failure, and Run still returns cleanly.
+func TestSwarmReportsDialFailures(t *testing.T) {
+	res, err := Run("127.0.0.1:1", Options{Agents: 3, Rounds: 1, DialTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AgentsCompleted != 0 || res.Failures != 3 {
+		t.Fatalf("dead target: %+v", res)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"os"
 	"slices"
 	"sync"
 	"time"
@@ -33,6 +34,12 @@ type Options struct {
 
 	// TaskInterval is the zone-report/task cadence expected from clients.
 	TaskInterval time.Duration
+
+	// IdleTimeout drops client connections that send nothing for this
+	// long, so dead clients cannot pin handler goroutines forever. Zero
+	// disables (the historical behavior); cmd/wiscape-coordinator defaults
+	// it to 2 minutes.
+	IdleTimeout time.Duration
 
 	// Seed drives the probabilistic task assignment.
 	Seed uint64
@@ -339,15 +346,24 @@ func (s *Server) handle(nc net.Conn) {
 	c := wire.NewConn(nc).Instrument(s.met.wire)
 	defer c.Close()
 	for {
+		if s.opts.IdleTimeout > 0 {
+			_ = nc.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
 		req, err := c.Recv()
 		if err != nil {
-			if errors.Is(err, wire.ErrMessageTooLarge) {
+			switch {
+			case errors.Is(err, wire.ErrMessageTooLarge):
 				s.met.protoErrors.Inc()
 				_ = c.Send(errEnvelope("message too large"))
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				s.met.idleDisconnects.Inc()
 			}
 			return
 		}
 		s.met.request(req.Type).Inc()
+		if req.Via != nil {
+			s.met.forwarded.Inc()
+		}
 		t0 := time.Now()
 		reply, fatal := s.dispatch(req)
 		s.met.dispatchSec.Observe(time.Since(t0).Seconds())

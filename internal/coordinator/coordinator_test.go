@@ -11,6 +11,8 @@ import (
 	"repro/internal/geo"
 	"repro/internal/mobility"
 	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -325,6 +327,9 @@ func TestAgentResilientSurvivesCoordinatorRestart(t *testing.T) {
 		Networks:    []radio.NetworkID{radio.NetB},
 		Seed:        seed,
 		Grid:        ctrl.Grid(),
+		// Fast backoff so redials during the restart window finish well
+		// inside the test budget.
+		RetryBackoff: rng.Backoff{Base: 5 * time.Millisecond, Max: 50 * time.Millisecond},
 	}
 
 	type result struct {
@@ -366,5 +371,46 @@ func TestAgentResilientSurvivesCoordinatorRestart(t *testing.T) {
 	}
 	if res.st.SamplesSent == 0 {
 		t.Fatal("no samples survived the restart")
+	}
+}
+
+// TestIdleTimeoutDropsSilentClients proves dead clients cannot pin handler
+// goroutines: a connection that goes quiet is closed after IdleTimeout,
+// while one that keeps talking inside the window stays up.
+func TestIdleTimeoutDropsSilentClients(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := newServer(t, Options{Seed: seed, IdleTimeout: 150 * time.Millisecond, Telemetry: reg})
+
+	dial := func() *wire.Conn {
+		nc, err := net.Dial("tcp", s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := wire.NewConn(nc)
+		t.Cleanup(func() { _ = c.Close() })
+		if _, err := c.Request(wire.Envelope{Type: wire.TypeHello, Hello: &wire.Hello{ClientID: "idle", DeviceClass: "laptop"}}); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	// An active client outlives several timeout windows.
+	active := dial()
+	for i := 0; i < 4; i++ {
+		time.Sleep(80 * time.Millisecond)
+		if _, err := active.Request(wire.Envelope{Type: wire.TypeHello, Hello: &wire.Hello{ClientID: "idle", DeviceClass: "laptop"}}); err != nil {
+			t.Fatalf("active client dropped on round %d: %v", i, err)
+		}
+	}
+
+	// A silent client is disconnected: its next Recv fails once the server
+	// closes the connection.
+	silent := dial()
+	_ = silent.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := silent.Recv(); err == nil {
+		t.Fatal("silent connection survived the idle timeout")
+	}
+	if v := reg.Counter("wiscape_coordinator_idle_disconnects_total", "").With().Value(); v < 1 {
+		t.Fatalf("idle disconnect counter %v, want >= 1", v)
 	}
 }

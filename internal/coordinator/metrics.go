@@ -15,6 +15,8 @@ type coordMetrics struct {
 	dispatchSec     *telemetry.Histogram
 	protoErrors     *telemetry.Counter
 	connsAccepted   *telemetry.Counter
+	idleDisconnects *telemetry.Counter
+	forwarded       *telemetry.Counter
 
 	// requests is pre-resolved per known message type (label lookups take
 	// a lock; the dispatch path must not), with a catch-all for unknowns.
@@ -53,6 +55,10 @@ func newCoordMetrics(reg *telemetry.Registry, clientCount func() int) *coordMetr
 			"Requests answered with a protocol error.").With(),
 		connsAccepted: reg.Counter("wiscape_coordinator_connections_total",
 			"Client connections accepted.").With(),
+		idleDisconnects: reg.Counter("wiscape_coordinator_idle_disconnects_total",
+			"Connections dropped for exceeding the idle timeout.").With(),
+		forwarded: reg.Counter("wiscape_coordinator_forwarded_requests_total",
+			"Requests relayed by a cluster gateway (wire Via metadata set).").With(),
 		requests:      byType,
 		requestsOther: reqs.With("other"),
 		wire:          wire.NewMetrics(reg),

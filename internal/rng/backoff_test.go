@@ -1,0 +1,75 @@
+package rng
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicForSameStream(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 2 * time.Second}
+	a1, a2 := NewNamed(7, "retry"), NewNamed(7, "retry")
+	for i := 0; i < 8; i++ {
+		if d1, d2 := b.Delay(i, a1), b.Delay(i, a2); d1 != d2 {
+			t.Fatalf("attempt %d: %v vs %v from identical streams", i, d1, d2)
+		}
+	}
+	// A different stream name draws different jitter.
+	other := NewNamed(7, "other")
+	same := true
+	ref := NewNamed(7, "retry")
+	for i := 0; i < 8; i++ {
+		if b.Delay(i, ref) != b.Delay(i, other) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct streams produced identical schedules")
+	}
+}
+
+func TestBackoffJitterWindowAndGrowth(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Hour, Factor: 2}
+	r := NewNamed(1, "jitter")
+	for attempt := 0; attempt < 6; attempt++ {
+		full := time.Duration(float64(b.Base) * pow2(attempt))
+		for trial := 0; trial < 50; trial++ {
+			d := b.Delay(attempt, r)
+			if d < full/2 || d >= full {
+				t.Fatalf("attempt %d: delay %v outside [%v,%v)", attempt, d, full/2, full)
+			}
+		}
+	}
+}
+
+func pow2(n int) float64 {
+	v := 1.0
+	for i := 0; i < n; i++ {
+		v *= 2
+	}
+	return v
+}
+
+func TestBackoffCapsAtMax(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2}
+	r := NewNamed(1, "cap")
+	for trial := 0; trial < 100; trial++ {
+		// Attempt 40 would be ~100ms * 2^40 uncapped; even the int64
+		// overflow region must stay inside [Max/2, Max).
+		if d := b.Delay(40, r); d < b.Max/2 || d >= b.Max {
+			t.Fatalf("capped delay %v outside [%v,%v)", d, b.Max/2, b.Max)
+		}
+	}
+}
+
+func TestBackoffZeroValueUsesDefaults(t *testing.T) {
+	var b Backoff
+	r := NewNamed(1, "defaults")
+	if d := b.Delay(0, r); d < DefaultBackoffBase/2 || d >= DefaultBackoffBase {
+		t.Fatalf("zero-value first delay %v outside [%v,%v)", d, DefaultBackoffBase/2, DefaultBackoffBase)
+	}
+	for trial := 0; trial < 100; trial++ {
+		if d := b.Delay(100, r); d >= DefaultBackoffMax {
+			t.Fatalf("zero-value delay %v exceeds the default cap %v", d, DefaultBackoffMax)
+		}
+	}
+}

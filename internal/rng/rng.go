@@ -9,7 +9,10 @@
 // value at a lattice point depends only on (seed, x, y), never on call order.
 package rng
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // splitmix64 advances the state and returns the next output of the
 // SplitMix64 generator (Steele, Lea, Flood 2014). It is used both as the
@@ -184,4 +187,45 @@ func (r *Rand) Shuffle(n int, swap func(i, j int)) {
 		j := r.Intn(i + 1)
 		swap(i, j)
 	}
+}
+
+// Backoff is a deterministic jittered exponential backoff schedule: the
+// delay before retry attempt n (0-based) is Base·Factor^n capped at Max,
+// then jittered uniformly into [d/2, d) so a fleet of clients seeded
+// differently never retries in lock-step. The zero value takes the
+// defaults below. Draws come from an explicit *Rand, keeping schedules
+// exactly reproducible like every other stochastic component here.
+type Backoff struct {
+	Base   time.Duration // first delay; default 250ms
+	Max    time.Duration // delay cap; default 15s
+	Factor float64       // growth per attempt; default 2
+}
+
+// Backoff defaults.
+const (
+	DefaultBackoffBase   = 250 * time.Millisecond
+	DefaultBackoffMax    = 15 * time.Second
+	DefaultBackoffFactor = 2.0
+)
+
+// Delay returns the jittered delay before retry attempt n (0-based),
+// advancing r by exactly one draw.
+func (b Backoff) Delay(attempt int, r *Rand) time.Duration {
+	base, max, factor := b.Base, b.Max, b.Factor
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	if factor <= 1 {
+		factor = DefaultBackoffFactor
+	}
+	d := float64(base) * math.Pow(factor, float64(attempt))
+	if d > float64(max) || math.IsInf(d, 0) {
+		d = float64(max)
+	}
+	// Uniform jitter in [d/2, d): full-delay worst case, half-delay best,
+	// never zero.
+	return time.Duration(d/2 + r.Float64()*d/2)
 }

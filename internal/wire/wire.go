@@ -123,10 +123,23 @@ type ErrorMsg struct {
 	Message string `json:"message"`
 }
 
+// Via marks an envelope as forwarded by an intermediary tier (the cluster
+// gateway), so shard coordinators can tell relayed traffic from direct
+// agent connections in logs and telemetry. Agents never set it.
+type Via struct {
+	// Gateway identifies the forwarding gateway instance.
+	Gateway string `json:"gateway"`
+	// Shard is the route the gateway chose (the shard's configured name).
+	Shard string `json:"shard,omitempty"`
+}
+
 // Envelope is the wire frame: exactly one payload field is set, selected by
 // Type.
 type Envelope struct {
 	Type MsgType `json:"type"`
+
+	// Via is set on envelopes relayed by a gateway; nil on direct traffic.
+	Via *Via `json:"via,omitempty"`
 
 	Hello           *Hello           `json:"hello,omitempty"`
 	HelloAck        *HelloAck        `json:"hello_ack,omitempty"`

@@ -1,14 +1,19 @@
 # WiScape build/test entry points. `make ci` is what every change must
-# pass: vet + build + the full test suite under the race detector (the
-# store/coordinator shutdown paths are race-sensitive).
+# pass: vet + wiscape-lint + build + the full test suite under the race
+# detector (the store/coordinator shutdown paths are race-sensitive).
 GO ?= go
 
-.PHONY: all vet build test race ci bench bench-ingest bench-gateway swarm-smoke
+.PHONY: all vet lint build test race ci bench bench-ingest bench-gateway swarm-smoke fuzz
 
-all: vet build test
+all: vet lint build test
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own invariant gate: nodeterm, lockio, nilsafemetric and
+# wirebound over every module package (see DESIGN.md "Static analysis").
+lint:
+	$(GO) run ./cmd/wiscape-lint ./...
 
 build:
 	$(GO) build ./...
@@ -19,7 +24,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-ci: vet build race
+ci: vet lint build race
+
+# Short-burst coverage-guided fuzz of the wire decoder (the checked-in
+# corpus under internal/wire/testdata/fuzz seeds it).
+fuzz:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire
 
 # All benchmarks, repo-wide, without re-running unit tests alongside them.
 bench:

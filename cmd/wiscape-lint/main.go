@@ -1,0 +1,221 @@
+// wiscape-lint is the repository's invariant gate: it runs the
+// internal/analysis suite (nodeterm, lockio, nilsafemetric, wirebound)
+// over module packages and exits non-zero on any finding.
+//
+// Usage:
+//
+//	wiscape-lint [-only a,b] [-list] [packages]
+//
+// Packages are import paths or the pattern ./... (the default), which
+// walks every package in the enclosing module. Findings are suppressed by
+// a "//lint:ignore <analyzer> <reason>" comment on the offending line or
+// the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "wiscape-lint: unknown analyzer %q (use -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	modDir, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wiscape-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := expand(patterns, modDir, modPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wiscape-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	ld := load.New()
+	ld.ModulePath = modPath
+	ld.ModuleDir = modDir
+
+	type finding struct {
+		file      string
+		line, col int
+		analyzer  string
+		msg       string
+	}
+	var findings []finding
+	exit := 0
+	for _, pkgPath := range pkgs {
+		p, err := ld.Load(pkgPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wiscape-lint: loading %s: %v\n", pkgPath, err)
+			exit = 2
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      ld.Fset,
+				Files:     p.Files,
+				Pkg:       p.Pkg,
+				TypesInfo: p.Info,
+				Report: func(d analysis.Diagnostic) {
+					if analysis.Suppressed(ld.Fset, p.Files, a.Name, d.Pos) {
+						return
+					}
+					pos := ld.Fset.Position(d.Pos)
+					file, err := filepath.Rel(modDir, pos.Filename)
+					if err != nil {
+						file = pos.Filename
+					}
+					findings = append(findings, finding{file, pos.Line, pos.Column, a.Name, d.Message})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "wiscape-lint: %s on %s: %v\n", a.Name, pkgPath, err)
+				exit = 2
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.msg, f.analyzer)
+	}
+	if len(findings) > 0 && exit == 0 {
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+// expand resolves the given patterns to a sorted list of module package
+// import paths. "./..." (or "all") walks the module tree; anything else
+// is taken as a literal import path.
+func expand(patterns []string, modDir, modPath string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		if pat != "./..." && pat != "all" {
+			add(strings.TrimSuffix(pat, "/"))
+			continue
+		}
+		err := filepath.WalkDir(modDir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != modDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if !hasGoFiles(path) {
+				return nil
+			}
+			rel, err := filepath.Rel(modDir, path)
+			if err != nil {
+				return err
+			}
+			if rel == "." {
+				add(modPath)
+			} else {
+				add(modPath + "/" + filepath.ToSlash(rel))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one non-test
+// Go source file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// findModule walks up from the working directory to the enclosing go.mod.
+func findModule() (dir, modPath string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

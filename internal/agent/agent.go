@@ -98,13 +98,15 @@ type Agent struct {
 	sleep func(time.Duration)
 }
 
-// pause blocks for d via the test hook or the real clock.
+// pause blocks for d via the injected sleeper, defaulting to the real
+// clock. The default is wired as a value, not called here: nodeterm
+// enforces that this is the agent's only wall-clock wait.
 func (a *Agent) pause(d time.Duration) {
-	if a.sleep != nil {
-		a.sleep(d)
-		return
+	sleep := a.sleep
+	if sleep == nil {
+		sleep = time.Sleep
 	}
-	time.Sleep(d)
+	sleep(d)
 }
 
 // Stats summarizes one agent run, including the client-side cost WiScape

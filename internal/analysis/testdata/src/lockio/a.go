@@ -1,0 +1,109 @@
+// Package lockio is a fixture for the lockio analyzer: mutexes held
+// across network I/O, wire protocol calls, and channel sends.
+package lockio
+
+import (
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+type server struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	conns map[net.Conn]struct{}
+	ch    chan int
+}
+
+func (s *server) closeAllBad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for nc := range s.conns {
+		_ = nc.Close() // want `s\.mu held across \(net\.Conn\)\.Close`
+	}
+}
+
+func (s *server) sendBad() {
+	s.mu.Lock()
+	s.ch <- 1 // want `s\.mu held across channel send`
+	s.mu.Unlock()
+}
+
+func (s *server) rlockIsStillHeld(nc net.Conn, buf []byte) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	_, _ = nc.Read(buf) // want `s\.rw held across \(net\.Conn\)\.Read`
+}
+
+func (s *server) wireBad(c *wire.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = c.Send(wire.Envelope{}) // want `s\.mu held across \(wire\.Conn\)\.Send`
+}
+
+func (s *server) dialBad(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = net.Dial("tcp", addr) // want `s\.mu held across net\.Dial`
+}
+
+func (s *server) selectSendBad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1: // want `s\.mu held across channel send`
+	default:
+	}
+}
+
+// Negative cases.
+
+// closeAllGood snapshots under the lock and does I/O after releasing it —
+// the fix lockio always points at.
+func (s *server) closeAllGood() {
+	s.mu.Lock()
+	snapshot := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		snapshot = append(snapshot, nc)
+	}
+	s.mu.Unlock()
+	for _, nc := range snapshot {
+		_ = nc.Close()
+	}
+}
+
+// sendAfterUnlock releases before sending.
+func (s *server) sendAfterUnlock() {
+	s.mu.Lock()
+	v := len(s.conns)
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// closureEscapes builds a closure under the lock; its body runs later,
+// outside the critical section.
+func (s *server) closureEscapes() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() {
+		s.ch <- 1
+	}
+}
+
+// branchScoped: the lock taken in one branch does not leak into the next
+// statement's analysis once the branch unlocks.
+func (s *server) branchScoped(fast bool) {
+	if fast {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	s.ch <- 1
+}
+
+func (s *server) suppressed(nc net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockio fixture demonstrates the audited escape hatch
+	_ = nc.Close()
+}

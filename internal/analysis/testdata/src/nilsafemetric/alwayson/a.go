@@ -1,0 +1,23 @@
+// Package alwayson is the nilsafemetric negative fixture: this package
+// never nil-compares its bundle (it is constructed unconditionally, the
+// coordinator's pattern), so bare field access is fine — the analyzer only
+// polices bundles the code itself treats as optional.
+package alwayson
+
+import "repro/internal/telemetry"
+
+type metrics struct {
+	hits *telemetry.Counter
+}
+
+type server struct {
+	met *metrics
+}
+
+func newServer(reg *telemetry.Registry) *server {
+	return &server{met: &metrics{hits: reg.Counter("alwayson_hits_total", "Hits.").With()}}
+}
+
+func (s *server) handle() {
+	s.met.hits.Inc()
+}

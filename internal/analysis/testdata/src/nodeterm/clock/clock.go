@@ -1,0 +1,13 @@
+// Package clock is the nodeterm negative fixture: no directive, not in
+// the deterministic set, so wall-clock use is fine.
+package clock
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now()
+}
+
+func Nap() {
+	time.Sleep(time.Millisecond)
+}

@@ -224,21 +224,24 @@ func (g *Gateway) serveShards(w http.ResponseWriter, r *http.Request) {
 // plane. Idempotent.
 func (g *Gateway) Close() error {
 	g.stopOnce.Do(func() { close(g.stop) })
+	// Snapshot under the lock, sever after releasing it: Close on a
+	// net.Conn can block, and lockio forbids holding g.mu across it.
 	g.mu.Lock()
 	g.closed = true
+	conns := make([]net.Conn, 0, len(g.conns))
 	for nc := range g.conns {
-		_ = nc.Close()
+		conns = append(conns, nc)
 	}
 	g.mu.Unlock()
+	for _, nc := range conns {
+		_ = nc.Close()
+	}
 	err := g.ln.Close()
 	if errors.Is(err, net.ErrClosed) {
 		err = nil
 	}
 	g.wg.Wait()
-	if oerr := g.ops.Close(); err == nil {
-		err = oerr
-	}
-	return err
+	return errors.Join(err, g.ops.Close())
 }
 
 func (g *Gateway) acceptLoop() {
@@ -321,7 +324,7 @@ func (g *Gateway) handle(nc net.Conn) {
 	if g.met != nil {
 		g.met.conns.Inc()
 	}
-	c := wire.NewConn(nc).Instrument(g.met.wire)
+	c := wire.NewConn(nc).Instrument(g.met.wireMetrics())
 	defer c.Close()
 	sess := g.newSession()
 	defer sess.closeUpstream()
@@ -587,7 +590,7 @@ func (g *Gateway) upstream(sess *session, sh *Shard) (*wire.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dial: %w", err)
 	}
-	c := wire.NewConn(nc).Instrument(g.met.wire)
+	c := wire.NewConn(nc).Instrument(g.met.wireMetrics())
 	if sess.hello != nil {
 		_ = c.SetDeadline(time.Now().Add(g.opts.RequestTimeout))
 		ack, err := c.Request(wire.Envelope{

@@ -70,6 +70,16 @@ func newGatewayMetrics(reg *telemetry.Registry, shards []*Shard, healthyCount fu
 	return m
 }
 
+// wireMetrics returns the shared codec counters (nil-safe: an
+// uninstrumented gateway hands wire.Conn a nil *wire.Metrics, itself a
+// no-op).
+func (m *gatewayMetrics) wireMetrics() *wire.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.wire
+}
+
 // shard returns the instrument set for a shard (nil-safe; the returned
 // struct's fields are themselves nil-safe no-ops when uninstrumented).
 func (m *gatewayMetrics) shard(name string) *shardMetrics {

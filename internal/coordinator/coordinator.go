@@ -246,12 +246,18 @@ func (s *Server) Controller() *core.Controller { return s.ctrl }
 // observe store.ErrClosed.
 func (s *Server) Close() error {
 	s.stopOnce.Do(func() { close(s.stop) })
+	// Snapshot under the lock, sever after releasing it: Close on a
+	// net.Conn can block, and lockio forbids holding s.mu across it.
 	s.mu.Lock()
 	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
 	for nc := range s.conns {
-		_ = nc.Close()
+		conns = append(conns, nc)
 	}
 	s.mu.Unlock()
+	for _, nc := range conns {
+		_ = nc.Close()
+	}
 	err := s.ln.Close()
 	if errors.Is(err, net.ErrClosed) {
 		err = nil // a second Close is a no-op, not an error
@@ -259,14 +265,10 @@ func (s *Server) Close() error {
 	s.wg.Wait()
 	// Ops plane drains after the protocol handlers: an in-flight scrape
 	// still observes the final counter values. Close is graceful (bounded)
-	// and idempotent.
-	if oerr := s.ops.Close(); err == nil {
-		err = oerr
-	}
+	// and idempotent. Every shutdown error is reported, not just the first.
+	err = errors.Join(err, s.ops.Close())
 	if s.store != nil {
-		if serr := s.store.Close(); err == nil {
-			err = serr
-		}
+		err = errors.Join(err, s.store.Close())
 	}
 	return err
 }

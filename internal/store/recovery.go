@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -116,9 +117,9 @@ func writeCheckpoint(dir string, lsn uint64, snap core.Snapshot) error {
 	if err == nil {
 		err = f.Sync()
 	}
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
+	// Close errors matter here — a failed close can mean the fsync'd bytes
+	// never reached the disk — and must not be masked by a write error.
+	err = errors.Join(err, f.Close())
 	if err == nil {
 		err = os.Rename(tmp, final)
 	}
@@ -204,6 +205,12 @@ func recoverDir(dir string, opts Options) (Recovery, uint64, error) {
 	return rec, nextLSN, nil
 }
 
+// maxWALLineBytes caps one WAL line during recovery. A legitimate record
+// is a few hundred bytes; anything past this is corruption, and reading
+// it through an unbounded ReadBytes would let one damaged (or hostile)
+// segment balloon memory before the CRC even gets a look.
+const maxWALLineBytes = 1 << 20
+
 // scanSegment replays one WAL segment into rec. For the last (active at
 // crash time) segment, invalid data extending to EOF is truncated so the
 // next crash-free run starts from a clean journal.
@@ -216,9 +223,8 @@ func scanSegment(path string, last bool, rec *Recovery, nextLSN *uint64, opts Op
 	var offset, goodEnd int64 // goodEnd: file offset just past the last valid record
 	pendingBad := 0           // invalid lines seen since the last valid record
 	for {
-		line, err := br.ReadBytes('\n')
-		offset += int64(len(line))
-		complete := err == nil
+		line, consumed, complete := readLineCapped(br, maxWALLineBytes)
+		offset += consumed
 		if complete {
 			if smp, lsn, ok := parseRecordLine(line); ok {
 				rec.CorruptRecords += pendingBad
@@ -231,31 +237,61 @@ func scanSegment(path string, last bool, rec *Recovery, nextLSN *uint64, opts Op
 					rec.Tail = append(rec.Tail, smp)
 				}
 			} else {
+				// Includes over-cap lines (line == nil): corrupt either way.
 				pendingBad++
 			}
 			continue
 		}
-		if len(line) > 0 {
+		if consumed > 0 {
 			pendingBad++ // partial line at EOF: torn write
 		}
 		break
 	}
 	size := offset
 	cerr := f.Close()
+	if cerr != nil {
+		cerr = fmt.Errorf("store: closing segment: %w", cerr)
+	}
 	if last && goodEnd < size {
 		// Torn tail: drop everything past the last valid record.
 		rec.TruncatedBytes += size - goodEnd
 		opts.Logf("store: truncating torn WAL tail of %s: %d bytes", path, size-goodEnd)
 		if err := os.Truncate(path, goodEnd); err != nil {
-			return fmt.Errorf("store: truncating torn tail: %w", err)
+			return errors.Join(fmt.Errorf("store: truncating torn tail: %w", err), cerr)
 		}
 	} else {
 		rec.CorruptRecords += pendingBad
 	}
-	if cerr != nil {
-		return fmt.Errorf("store: closing segment: %w", cerr)
+	return cerr
+}
+
+// readLineCapped reads one '\n'-terminated line of at most limit bytes,
+// without ever buffering more than limit (+ one bufio chunk). It returns
+// the line including its delimiter (nil when the line exceeded the cap
+// but was still consumed through its delimiter), the number of bytes
+// consumed from br, and whether a delimiter was found. complete=false
+// means EOF or a read error ended the line early.
+func readLineCapped(br *bufio.Reader, limit int) (line []byte, consumed int64, complete bool) {
+	overflow := false
+	for {
+		chunk, err := br.ReadSlice('\n')
+		consumed += int64(len(chunk))
+		if !overflow {
+			line = append(line, chunk...)
+			if len(line) > limit {
+				overflow = true
+				line = nil
+			}
+		}
+		switch {
+		case err == nil:
+			return line, consumed, true
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue
+		default:
+			return line, consumed, false
+		}
 	}
-	return nil
 }
 
 // parseRecordLine validates one "crc32hex payload\n" WAL line.

@@ -418,10 +418,9 @@ func (st *Store) Close() error {
 	}
 	st.closed = true
 	close(st.stop)
-	err := st.syncLocked() // a graceful shutdown always leaves a durable WAL
-	if cerr := st.f.Close(); err == nil {
-		err = cerr
-	}
+	// A graceful shutdown always leaves a durable WAL; both the flush and
+	// the close error are worth reporting, so neither masks the other.
+	err := errors.Join(st.syncLocked(), st.f.Close())
 	st.mu.Unlock()
 	st.wg.Wait()
 	if err != nil {

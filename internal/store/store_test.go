@@ -340,6 +340,62 @@ func TestCRCMismatchMidSegmentSkipped(t *testing.T) {
 	}
 }
 
+func TestOversizedWALLineSkippedMidSegment(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, st, 0, 10)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Splice a framed line far over the recovery cap into the middle of
+	// the segment: it must be counted corrupt and skipped, without taking
+	// down the scan or the valid records on either side.
+	seg := newestSegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := splitLines(data)
+	if len(lines) != 10 {
+		t.Fatalf("segment has %d lines", len(lines))
+	}
+	huge := make([]byte, maxWALLineBytes+4096)
+	for i := range huge {
+		huge[i] = 'x'
+	}
+	huge[len(huge)-1] = '\n'
+	var out []byte
+	out = append(out, data[:lines[5].start]...)
+	out = append(out, huge...)
+	out = append(out, data[lines[5].start:]...)
+	if err := os.WriteFile(seg, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("oversized line must not prevent recovery: %v", err)
+	}
+	defer st2.Close()
+	rec := st2.Recovery()
+	if rec.CorruptRecords != 1 {
+		t.Fatalf("corrupt records %d, want 1 (the oversized line)", rec.CorruptRecords)
+	}
+	if len(rec.Tail) != 10 {
+		t.Fatalf("tail %d, want all 10 valid records kept", len(rec.Tail))
+	}
+	if rec.TruncatedBytes != 0 {
+		t.Fatal("mid-segment garbage must not truncate valid successors")
+	}
+	if lsn, err := st2.Append(testSample(10)); err != nil || lsn != 11 {
+		t.Fatalf("append after recovery: lsn=%d err=%v", lsn, err)
+	}
+}
+
 type lineSpan struct{ start, end int }
 
 func splitLines(data []byte) []lineSpan {

@@ -49,7 +49,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte("\n"))
 	f.Add([]byte("{}\n"))
 	f.Add([]byte(`{"type":""}` + "\n"))
-	f.Add([]byte(`{"type":"hello"`)) // truncated: no newline, no close brace
+	f.Add([]byte(`{"type":"hello"`))                                   // truncated: no newline, no close brace
 	f.Add([]byte(`{"type":"hello","hello":{"client_id":123}}` + "\n")) // wrong field type
 	f.Add([]byte("not json at all\n"))
 	f.Add([]byte("\xff\xfe{\"type\":\"hello\"}\n"))

@@ -62,7 +62,9 @@ func main() {
 	if *snapshotPath != "" {
 		if f, err := os.Open(*snapshotPath); err == nil {
 			snap, err := core.ReadSnapshot(f)
-			f.Close()
+			if cerr := f.Close(); cerr != nil {
+				logger.Printf("close snapshot: %v", cerr)
+			}
 			if err != nil {
 				logger.Fatalf("snapshot %s: %v", *snapshotPath, err)
 			}

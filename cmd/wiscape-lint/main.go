@@ -1,48 +1,83 @@
 // wiscape-lint is the repository's invariant gate: it runs the
-// internal/analysis suite (nodeterm, lockio, nilsafemetric, wirebound)
-// over module packages and exits non-zero on any finding.
+// internal/analysis suite (nodeterm, lockio, nilsafemetric, wirebound,
+// goleak, errdrop) over module packages and exits non-zero on any
+// finding.
 //
 // Usage:
 //
-//	wiscape-lint [-only a,b] [-list] [packages]
+//	wiscape-lint [-only a,b] [-list] [-json|-sarif] [-baseline FILE] [-write-baseline FILE] [packages]
 //
 // Packages are import paths or the pattern ./... (the default), which
-// walks every package in the enclosing module. Findings are suppressed by
-// a "//lint:ignore <analyzer> <reason>" comment on the offending line or
-// the line above; the reason is mandatory.
+// walks every package in the enclosing module. The run is two-pass:
+// every requested package is loaded and type-checked first, a facts
+// table (may-block, returns-IO-error, shutdown-signal, WaitGroup
+// accounting) is computed over the whole load to a fixed point, and only
+// then do the analyzers run — so goleak, errdrop and lockio see through
+// calls into other functions and other packages.
+//
+// Findings are suppressed by a "//lint:ignore <analyzer> <reason>"
+// comment on the offending line or the line above; the reason is
+// mandatory. -baseline FILE additionally suppresses findings recorded in
+// the baseline ledger (matched by analyzer, file and message with an
+// occurrence count — not by line), so CI fails only on new findings.
+// -write-baseline FILE regenerates that ledger from the current run.
+//
+// Exit status: 0 clean, 1 findings (after baseline filtering), 2 usage
+// errors, load failures, parse errors, or patterns matching no packages.
+// Parse errors always force exit 2 and are never baselined: a package
+// with a hole in it cannot be trusted to lint clean.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/scanner"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/lintout"
 	"repro/internal/analysis/load"
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-	list := flag.Bool("list", false, "list analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wiscape-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file; report only new ones")
+	writeBaseline := fs.String("write-baseline", "", "write a baseline accepting the current findings to this file, then exit")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "wiscape-lint: -json and -sarif are mutually exclusive")
+		return 2
+	}
 
 	analyzers := analysis.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	if *only != "" {
 		analyzers = analyzers[:0]
 		for _, name := range strings.Split(*only, ",") {
 			a := analysis.ByName(strings.TrimSpace(name))
 			if a == nil {
-				fmt.Fprintf(os.Stderr, "wiscape-lint: unknown analyzer %q (use -list)\n", name)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "wiscape-lint: unknown analyzer %q (use -list)\n", name)
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
@@ -50,39 +85,58 @@ func main() {
 
 	modDir, modPath, err := findModule()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wiscape-lint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "wiscape-lint: %v\n", err)
+		return 2
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := expand(patterns, modDir, modPath)
+	pkgPaths, err := expand(patterns, modDir, modPath)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wiscape-lint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "wiscape-lint: %v\n", err)
+		return 2
+	}
+	if len(pkgPaths) == 0 {
+		fmt.Fprintf(stderr, "wiscape-lint: patterns %v matched no packages\n", patterns)
+		return 2
 	}
 
+	// Pass 1: load and type-check every requested package, surfacing
+	// parse errors as positioned diagnostics rather than silently
+	// analyzing files with holes in them.
 	ld := load.New()
 	ld.ModulePath = modPath
 	ld.ModuleDir = modDir
 
-	type finding struct {
-		file      string
-		line, col int
-		analyzer  string
-		msg       string
-	}
-	var findings []finding
 	exit := 0
-	for _, pkgPath := range pkgs {
+	var targets []*load.Package
+	for _, pkgPath := range pkgPaths {
 		p, err := ld.Load(pkgPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wiscape-lint: loading %s: %v\n", pkgPath, err)
+			fmt.Fprintf(stderr, "wiscape-lint: loading %s: %v\n", pkgPath, err)
 			exit = 2
 			continue
 		}
+		for _, perr := range p.ParseErrors {
+			fmt.Fprintf(stderr, "%s\n", relErr(perr, modDir))
+			exit = 2
+		}
+		targets = append(targets, p)
+	}
+
+	// Pass 2: compute interprocedural facts over the whole load (the
+	// requested packages plus every module-local package they pulled in),
+	// then run the analyzers with the facts table attached.
+	var infos []*analysis.PackageInfo
+	for _, p := range ld.Packages() {
+		infos = append(infos, &analysis.PackageInfo{Files: p.Files, Pkg: p.Pkg, Info: p.Info})
+	}
+	facts := analysis.ComputeFacts(infos)
+
+	var findings []lintout.Finding
+	for _, p := range targets {
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -90,6 +144,7 @@ func main() {
 				Files:     p.Files,
 				Pkg:       p.Pkg,
 				TypesInfo: p.Info,
+				Facts:     facts,
 				Report: func(d analysis.Diagnostic) {
 					if analysis.Suppressed(ld.Fset, p.Files, a.Name, d.Pos) {
 						return
@@ -99,35 +154,91 @@ func main() {
 					if err != nil {
 						file = pos.Filename
 					}
-					findings = append(findings, finding{file, pos.Line, pos.Column, a.Name, d.Message})
+					findings = append(findings, lintout.Finding{
+						Analyzer: a.Name,
+						File:     filepath.ToSlash(file),
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  d.Message,
+					})
 				},
 			}
 			if err := a.Run(pass); err != nil {
-				fmt.Fprintf(os.Stderr, "wiscape-lint: %s on %s: %v\n", a.Name, pkgPath, err)
+				fmt.Fprintf(stderr, "wiscape-lint: %s on %s: %v\n", a.Name, p.Path, err)
 				exit = 2
 			}
 		}
 	}
-	sort.Slice(findings, func(i, j int) bool {
-		a, b := findings[i], findings[j]
-		if a.file != b.file {
-			return a.file < b.file
+	lintout.Sort(findings)
+
+	if *writeBaseline != "" {
+		b := lintout.NewBaseline(findings)
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "wiscape-lint: %v\n", err)
+			return 2
 		}
-		if a.line != b.line {
-			return a.line < b.line
+		werr := b.Write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
 		}
-		if a.col != b.col {
-			return a.col < b.col
+		if werr != nil {
+			fmt.Fprintf(stderr, "wiscape-lint: writing baseline: %v\n", werr)
+			return 2
 		}
-		return a.analyzer < b.analyzer
-	})
-	for _, f := range findings {
-		fmt.Printf("%s:%d:%d: %s (%s)\n", f.file, f.line, f.col, f.msg, f.analyzer)
+		fmt.Fprintf(stderr, "wiscape-lint: wrote baseline %s accepting %d finding(s)\n", *writeBaseline, len(findings))
+		return exit
 	}
+
+	if *baselinePath != "" {
+		b, err := lintout.ReadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "wiscape-lint: %v\n", err)
+			return 2
+		}
+		var suppressed []lintout.Finding
+		findings, suppressed = b.Filter(findings)
+		if len(suppressed) > 0 {
+			fmt.Fprintf(stderr, "wiscape-lint: %d finding(s) suppressed by baseline %s\n", len(suppressed), *baselinePath)
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		if err := lintout.WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintf(stderr, "wiscape-lint: %v\n", err)
+			return 2
+		}
+	case *sarifOut:
+		rules := make([]lintout.Rule, 0, len(analyzers))
+		for _, a := range analyzers {
+			rules = append(rules, lintout.Rule{ID: a.Name, Doc: a.Doc})
+		}
+		if err := lintout.WriteSARIF(stdout, rules, findings); err != nil {
+			fmt.Fprintf(stderr, "wiscape-lint: %v\n", err)
+			return 2
+		}
+	default:
+		lintout.WriteText(stdout, findings)
+	}
+
 	if len(findings) > 0 && exit == 0 {
 		exit = 1
 	}
-	os.Exit(exit)
+	return exit
+}
+
+// relErr rewrites a parse error's absolute filename module-relative so
+// diagnostics match finding output ("file:line:col: message").
+func relErr(err error, modDir string) string {
+	if se, ok := err.(*scanner.Error); ok {
+		file := se.Pos.Filename
+		if rel, rerr := filepath.Rel(modDir, file); rerr == nil {
+			file = filepath.ToSlash(rel)
+		}
+		return fmt.Sprintf("%s:%d:%d: %s", file, se.Pos.Line, se.Pos.Column, se.Msg)
+	}
+	return err.Error()
 }
 
 // expand resolves the given patterns to a sorted list of module package

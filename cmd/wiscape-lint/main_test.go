@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a fake module: path -> contents.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for path, contents := range files {
+		full := filepath.Join(dir, filepath.FromSlash(path))
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(contents), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestExpandWalksModuleSkippingNonPackages(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":                 "module example\n",
+		"a/a.go":                 "package a\n",
+		"a/b/b.go":               "package b\n",
+		"a/testdata/t.go":        "package t\n",
+		"vendor/v/v.go":          "package v\n",
+		".hidden/h.go":           "package h\n",
+		"_skip/s.go":             "package s\n",
+		"empty/readme.txt":       "no go files here\n",
+		"onlytests/x_test.go":    "package onlytests\n",
+		"deep/nested/pkg/pkg.go": "package pkg\n",
+	})
+	got, err := expand([]string{"./..."}, dir, "example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"example/a", "example/a/b", "example/deep/nested/pkg"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("expand = %v, want %v", got, want)
+	}
+}
+
+func TestExpandEmptyModuleMatchesNothing(t *testing.T) {
+	dir := writeTree(t, map[string]string{"go.mod": "module example\n"})
+	got, err := expand([]string{"./..."}, dir, "example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("expand of empty module = %v, want none", got)
+	}
+}
+
+func TestExpandLiteralPathsDeduplicated(t *testing.T) {
+	got, err := expand([]string{"example/a", "example/a/", "example/b"}, t.TempDir(), "example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"example/a", "example/b"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("expand = %v, want %v", got, want)
+	}
+}
+
+// TestRunNoPackagesExitsTwo covers the empty-match contract end to end:
+// a pattern that expands to nothing is a usage error (exit 2), not a
+// silently-clean run (exit 0).
+func TestRunNoPackagesExitsTwo(t *testing.T) {
+	dir := writeTree(t, map[string]string{"go.mod": "module example\n"})
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "matched no packages") {
+		t.Fatalf("stderr should name the failure, got: %s", stderr.String())
+	}
+}
+
+// TestRunParseErrorsExitTwo: a syntax error is reported as a positioned
+// diagnostic and forces exit 2 even when no analyzer finds anything.
+func TestRunParseErrorsExitTwo(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod":      "module example\n\ngo 1.22\n",
+		"broken/b.go": "package broken\n\nfunc f() {\n", // unclosed body
+	})
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "broken/b.go:") {
+		t.Fatalf("parse error should be positioned file:line, got: %s", stderr.String())
+	}
+}
+
+func TestRunRejectsJSONPlusSARIF(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-sarif"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}

@@ -47,6 +47,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("open: %v", err)
 		}
+		//lint:ignore errdrop read-only input; a close error cannot lose data
 		defer f.Close()
 		r = f
 		name = *in
@@ -155,13 +156,18 @@ func main() {
 		if err != nil {
 			log.Fatalf("create snapshot: %v", err)
 		}
-		defer f.Close()
 		last := time.Now()
 		if ds.Len() > 0 {
 			last = ds.Samples[ds.Len()-1].Time
 		}
 		if err := core.WriteSnapshot(f, ctrl.Snapshot(last)); err != nil {
 			log.Fatalf("write snapshot: %v", err)
+		}
+		// An unchecked close here could report "snapshot written" for a
+		// file the kernel never accepted — the exact failure errdrop exists
+		// to catch.
+		if err := f.Close(); err != nil {
+			log.Fatalf("close snapshot: %v", err)
 		}
 		fmt.Printf("snapshot written to %s\n", *snapshotPath)
 	}

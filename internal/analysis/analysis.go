@@ -54,7 +54,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
-	Report    func(Diagnostic)
+	// Facts holds the interprocedural facts computed over every loaded
+	// package before analyzers run (see facts.go). Nil is legal and
+	// degrades the facts-aware analyzers to intraprocedural behavior.
+	Facts  *Facts
+	Report func(Diagnostic)
 }
 
 // Diagnostic is one finding.
@@ -70,7 +74,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Nodeterm, Lockio, Nilsafemetric, Wirebound}
+	return []*Analyzer{Nodeterm, Lockio, Nilsafemetric, Wirebound, Goleak, Errdrop}
 }
 
 // ByName returns the analyzer with the given name, or nil.

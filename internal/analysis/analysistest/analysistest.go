@@ -52,16 +52,33 @@ func Run(t *testing.T, a *analysis.Analyzer, fixturePkgs ...string) {
 	ld.ModuleDir = modDir
 	ld.Overrides = overrides(src)
 
+	// Pass 1: load every fixture (and, transitively, every module package
+	// the fixtures import), then compute interprocedural facts over the
+	// whole load — the same two-pass shape as the wiscape-lint driver.
+	loaded := make(map[string]*load.Package, len(fixturePkgs))
 	for _, pkgPath := range fixturePkgs {
 		p, err := ld.Load(pkgPath)
 		if err != nil {
 			t.Errorf("%s: loading fixture %s: %v", a.Name, pkgPath, err)
 			continue
 		}
+		for _, perr := range p.ParseErrors {
+			t.Errorf("%s: fixture %s: parse error: %v", a.Name, pkgPath, perr)
+		}
 		for _, terr := range p.TypeErrors {
 			// Fixtures must type-check: a broken fixture silently weakens
 			// the suite (analyzers degrade on missing type info).
 			t.Errorf("%s: fixture %s: type error: %v", a.Name, pkgPath, terr)
+		}
+		loaded[pkgPath] = p
+	}
+	facts := analysis.ComputeFacts(packageInfos(ld))
+
+	// Pass 2: run the analyzer per fixture with the shared facts.
+	for _, pkgPath := range fixturePkgs {
+		p := loaded[pkgPath]
+		if p == nil {
+			continue
 		}
 		var diags []analysis.Diagnostic
 		pass := &analysis.Pass{
@@ -70,6 +87,7 @@ func Run(t *testing.T, a *analysis.Analyzer, fixturePkgs ...string) {
 			Files:     p.Files,
 			Pkg:       p.Pkg,
 			TypesInfo: p.Info,
+			Facts:     facts,
 			Report: func(d analysis.Diagnostic) {
 				if !analysis.Suppressed(ld.Fset, p.Files, a.Name, d.Pos) {
 					diags = append(diags, d)
@@ -82,6 +100,17 @@ func Run(t *testing.T, a *analysis.Analyzer, fixturePkgs ...string) {
 		}
 		check(t, a.Name, ld.Fset, p, diags)
 	}
+}
+
+// packageInfos adapts every fully-checked package the loader has seen
+// into the facts engine's input shape.
+func packageInfos(ld *load.Loader) []*analysis.PackageInfo {
+	pkgs := ld.Packages()
+	infos := make([]*analysis.PackageInfo, 0, len(pkgs))
+	for _, p := range pkgs {
+		infos = append(infos, &analysis.PackageInfo{Files: p.Files, Pkg: p.Pkg, Info: p.Info})
+	}
+	return infos
 }
 
 // want is one expected-diagnostic pattern at a file line.

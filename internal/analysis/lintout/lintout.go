@@ -1,0 +1,265 @@
+// Package lintout is wiscape-lint's machine-readable output layer:
+// findings as a stable struct, JSON and SARIF 2.1.0 emitters, and the
+// accept/diff baseline that lets CI fail only on *new* findings while an
+// existing debt list is burned down deliberately.
+//
+// Baselines match findings by (analyzer, file, message) with an
+// occurrence count — deliberately not by line, so unrelated edits that
+// shift a legacy finding up or down the file do not break the gate,
+// while a *new* instance of the same message in the same file (count
+// exceeded) still fails.
+package lintout
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is one diagnostic from one analyzer, positioned
+// module-relative with slash-separated paths (stable across machines).
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// Sort orders findings by file, line, column, analyzer — the order the
+// text emitter prints and the JSON/SARIF emitters preserve.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteText prints the human-facing one-line-per-finding form.
+func WriteText(w io.Writer, fs []Finding) {
+	for _, f := range fs {
+		fmt.Fprintf(w, "%s:%d:%d: %s (%s)\n", f.File, f.Line, f.Col, f.Message, f.Analyzer)
+	}
+}
+
+// WriteJSON emits the findings as a JSON array (empty array, not null,
+// for zero findings — consumers get a stable shape).
+func WriteJSON(w io.Writer, fs []Finding) error {
+	if fs == nil {
+		fs = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fs)
+}
+
+// Rule describes one analyzer for the SARIF tool.driver.rules table.
+type Rule struct {
+	ID  string
+	Doc string
+}
+
+// sarif* types model the slice of SARIF 2.1.0 the emitter produces.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIFSchemaURI and SARIFVersion pin the emitted dialect.
+const (
+	SARIFSchemaURI = "https://json.schemastore.org/sarif-2.1.0.json"
+	SARIFVersion   = "2.1.0"
+)
+
+// WriteSARIF emits the findings as a single-run SARIF 2.1.0 log suitable
+// for GitHub code-scanning upload (PR annotations come for free).
+func WriteSARIF(w io.Writer, rules []Rule, fs []Finding) error {
+	srules := make([]sarifRule, 0, len(rules))
+	for _, r := range rules {
+		srules = append(srules, sarifRule{ID: r.ID, ShortDescription: sarifMessage{Text: r.Doc}})
+	}
+	results := make([]sarifResult, 0, len(fs))
+	for _, f := range fs {
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       filepath.ToSlash(f.File),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  SARIFSchemaURI,
+		Version: SARIFVersion,
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "wiscape-lint",
+				InformationURI: "https://example.invalid/wiscape-lint",
+				Rules:          srules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// Baseline is the accepted-findings ledger checked into the repo root.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry accepts Count occurrences of one (analyzer, file,
+// message) triple.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// baselineKey is the match key: lines deliberately excluded.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// NewBaseline builds a baseline accepting exactly the given findings.
+func NewBaseline(fs []Finding) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, f := range fs {
+		counts[baselineKey{f.Analyzer, f.File, f.Message}]++
+	}
+	b := &Baseline{Version: 1}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineEntry{Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		x, y := b.Findings[i], b.Findings[j]
+		if x.File != y.File {
+			return x.File < y.File
+		}
+		if x.Analyzer != y.Analyzer {
+			return x.Analyzer < y.Analyzer
+		}
+		return x.Message < y.Message
+	})
+	return b
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("lintout: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lintout: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("lintout: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+// Write writes the baseline to w.
+func (b *Baseline) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// Filter splits findings into (new, suppressed): each baseline entry
+// absorbs up to Count matching findings; everything beyond the budget —
+// and everything the baseline has never seen — is new.
+func (b *Baseline) Filter(fs []Finding) (newFindings, suppressed []Finding) {
+	budget := make(map[baselineKey]int, len(b.Findings))
+	for _, e := range b.Findings {
+		budget[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for _, f := range fs {
+		k := baselineKey{f.Analyzer, f.File, f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			suppressed = append(suppressed, f)
+			continue
+		}
+		newFindings = append(newFindings, f)
+	}
+	return newFindings, suppressed
+}

@@ -1,0 +1,155 @@
+package lintout
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{Analyzer: "goleak", File: "internal/telemetry/ops.go", Line: 97, Col: 2, Message: "goroutine has no shutdown path"},
+		{Analyzer: "errdrop", File: "internal/store/store.go", Line: 10, Col: 3, Message: "error from (os.File).Sync explicitly discarded"},
+		{Analyzer: "errdrop", File: "internal/store/store.go", Line: 40, Col: 3, Message: "error from (os.File).Sync explicitly discarded"},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, sampleFindings()); err != nil {
+		t.Fatal(err)
+	}
+	var got []Finding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if len(got) != 3 || got[0] != sampleFindings()[0] {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestJSONEmptyIsArray(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.TrimSpace(buf.Bytes()); string(got) != "[]" {
+		t.Fatalf("zero findings must emit [], got %q", got)
+	}
+}
+
+func TestSARIFShape(t *testing.T) {
+	var buf bytes.Buffer
+	rules := []Rule{{ID: "goleak", Doc: "goroutine lifecycle"}, {ID: "errdrop", Doc: "dropped IO errors"}}
+	if err := WriteSARIF(&buf, rules, sampleFindings()); err != nil {
+		t.Fatal(err)
+	}
+	// Decode generically and assert the SARIF 2.1.0 schema fields a
+	// consumer (GitHub code scanning) actually keys on.
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF does not parse: %v", err)
+	}
+	if log["version"] != "2.1.0" {
+		t.Errorf("version = %v, want 2.1.0", log["version"])
+	}
+	if log["$schema"] != SARIFSchemaURI {
+		t.Errorf("$schema = %v", log["$schema"])
+	}
+	runs, ok := log["runs"].([]any)
+	if !ok || len(runs) != 1 {
+		t.Fatalf("want exactly one run, got %v", log["runs"])
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "wiscape-lint" {
+		t.Errorf("driver name = %v", driver["name"])
+	}
+	if rules, ok := driver["rules"].([]any); !ok || len(rules) != 2 {
+		t.Errorf("want 2 rules, got %v", driver["rules"])
+	}
+	results := run["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(results))
+	}
+	r0 := results[0].(map[string]any)
+	if r0["ruleId"] != "goleak" {
+		t.Errorf("ruleId = %v", r0["ruleId"])
+	}
+	if r0["message"].(map[string]any)["text"] == "" {
+		t.Error("empty message text")
+	}
+	loc := r0["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	art := loc["artifactLocation"].(map[string]any)
+	if art["uri"] != "internal/telemetry/ops.go" {
+		t.Errorf("uri = %v", art["uri"])
+	}
+	if reg := loc["region"].(map[string]any); reg["startLine"].(float64) != 97 {
+		t.Errorf("startLine = %v", reg["startLine"])
+	}
+}
+
+func TestBaselineRoundTripAndFilter(t *testing.T) {
+	fs := sampleFindings()
+	b := NewBaseline(fs)
+
+	// Round-trip through disk.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint-baseline.json")
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rb, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical findings are fully suppressed...
+	newFs, supp := rb.Filter(fs)
+	if len(newFs) != 0 || len(supp) != 3 {
+		t.Fatalf("identical run: new=%d suppressed=%d, want 0/3", len(newFs), len(supp))
+	}
+
+	// ...a line shift still matches (lines are not part of the key)...
+	shifted := append([]Finding(nil), fs...)
+	shifted[0].Line = 120
+	newFs, _ = rb.Filter(shifted)
+	if len(newFs) != 0 {
+		t.Fatalf("line-shifted findings must stay suppressed, got %d new", len(newFs))
+	}
+
+	// ...a brand-new finding is reported...
+	withNew := append(shifted, Finding{Analyzer: "lockio", File: "internal/x.go", Line: 5, Col: 1, Message: "mu held across net.Dial"})
+	newFs, supp = rb.Filter(withNew)
+	if len(newFs) != 1 || newFs[0].Analyzer != "lockio" {
+		t.Fatalf("new finding not surfaced: new=%+v", newFs)
+	}
+	if len(supp) != 3 {
+		t.Fatalf("suppressed = %d, want 3", len(supp))
+	}
+
+	// ...and a fourth occurrence of a baselined duplicate exceeds the
+	// count budget and is new.
+	extra := append(shifted, Finding{Analyzer: "errdrop", File: "internal/store/store.go", Line: 77, Col: 3, Message: "error from (os.File).Sync explicitly discarded"})
+	newFs, _ = rb.Filter(extra)
+	if len(newFs) != 1 || newFs[0].Line != 77 {
+		t.Fatalf("count budget not enforced: new=%+v", newFs)
+	}
+}
+
+func TestReadBaselineRejectsBadVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.json")
+	if err := os.WriteFile(path, []byte(`{"version":9,"findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBaseline(path); err == nil {
+		t.Fatal("want error for unsupported version")
+	}
+}

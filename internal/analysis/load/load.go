@@ -26,6 +26,7 @@ import (
 	"go/ast"
 	"go/build"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -48,6 +49,12 @@ type Package struct {
 	// Info holds the use/def/type maps for target packages; nil for
 	// declarations-only dependencies.
 	Info *types.Info
+	// ParseErrors are the syntax errors encountered, one per position
+	// (scanner error lists are flattened). A file that fails to parse
+	// entirely is dropped from Files, but its errors are preserved here
+	// so drivers can surface them as file:line diagnostics instead of
+	// silently analyzing a package with a hole in it.
+	ParseErrors []error
 	// TypeErrors are the soft type-checking errors encountered.
 	TypeErrors []error
 }
@@ -155,11 +162,19 @@ func (l *Loader) load(path string) (*Package, error) {
 	sort.Strings(names)
 
 	var files []*ast.File
-	var softErrs []error
+	var parseErrs, softErrs []error
 	for _, name := range names {
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			softErrs = append(softErrs, err)
+			// A scanner.ErrorList carries one positioned error per
+			// syntax problem; flatten it so each surfaces individually.
+			if list, ok := err.(scanner.ErrorList); ok {
+				for _, e := range list {
+					parseErrs = append(parseErrs, e)
+				}
+			} else {
+				parseErrs = append(parseErrs, err)
+			}
 			if f == nil {
 				continue
 			}
@@ -167,7 +182,7 @@ func (l *Loader) load(path string) (*Package, error) {
 		files = append(files, f)
 	}
 
-	pkg := &Package{Path: path, Dir: dir}
+	pkg := &Package{Path: path, Dir: dir, ParseErrors: parseErrs}
 	if target {
 		pkg.Info = &types.Info{
 			Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -188,6 +203,20 @@ func (l *Loader) load(path string) (*Package, error) {
 	pkg.Pkg = tpkg
 	pkg.TypeErrors = softErrs
 	return pkg, nil
+}
+
+// Packages returns every fully-checked target package loaded so far (the
+// ones with bodies and an Info), sorted by import path. Facts engines
+// consume this to see the whole load, not just the requested roots.
+func (l *Loader) Packages() []*Package {
+	var out []*Package
+	for _, e := range l.pkgs {
+		if e.pkg != nil && e.pkg.Info != nil {
+			out = append(out, e.pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // importPkg backs the types.Importer needed while checking: dependencies

@@ -26,9 +26,16 @@ import (
 //
 // Function literals are separate scopes: a closure that runs later (go,
 // callbacks) does not execute under the lock held at its creation site.
-// The analysis is intraprocedural and over-approximates reachability
+// The lock tracking is intraprocedural and over-approximates reachability
 // (both branches of an if are assumed reachable), which is the right bias
 // for a gate: a narrowed critical section is always available as the fix.
+//
+// Call classification, however, is interprocedural: beyond the direct
+// net/wire intrinsics, any call into a function whose transitive facts
+// (facts.go) say it may block — it dials, writes a conn, or performs an
+// unconditional channel send somewhere down its static call chain — is
+// flagged with the evidence chain in the diagnostic. A blocking helper
+// hidden one function deep no longer hides the stall.
 var Lockio = &Analyzer{
 	Name: "lockio",
 	Doc: "forbid holding a sync.Mutex/RWMutex across network I/O, wire protocol calls, " +
@@ -221,6 +228,10 @@ func (w *lockWalker) scanExpr(e ast.Expr, held lockSet) {
 		}
 		if desc, ok := w.ioCall(call); ok {
 			w.pass.Reportf(call.Pos(), "%s held across %s: release the lock before blocking network I/O", held.any(), desc)
+			return true
+		}
+		if name, via, ok := w.factsBlockingCall(call); ok {
+			w.pass.Reportf(call.Pos(), "%s held across call to %s (may block: %s): release the lock before calling into blocking code", held.any(), name, via)
 		}
 		return true
 	})
@@ -253,6 +264,22 @@ func (w *lockWalker) lockMethod(e ast.Expr) (key, op string, ok bool) {
 		return "", "", false
 	}
 	return key, op, true
+}
+
+// factsBlockingCall consults the interprocedural facts: a call to a
+// module function whose transitive facts say it may block. Intrinsic
+// net/wire calls are already reported by ioCall, and stdlib functions
+// carry no facts, so this only fires for module-level wrappers.
+func (w *lockWalker) factsBlockingCall(call *ast.CallExpr) (name, via string, ok bool) {
+	fn := calleeFunc(w.pass.TypesInfo, call)
+	if fn == nil {
+		return "", "", false
+	}
+	ff := w.pass.Facts.Of(fn)
+	if ff == nil || !ff.MayBlock {
+		return "", "", false
+	}
+	return shortFuncName(fn), ff.BlockVia, true
 }
 
 // ioCall classifies call as blocking network I/O, returning a short

@@ -1,0 +1,115 @@
+// Package goleak is a fixture for the goleak analyzer: goroutine spawns
+// with and without lifecycle evidence, including evidence that is only
+// visible interprocedurally.
+//
+//wiscape:server
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+type svc struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	ch   chan int
+}
+
+// ---- positives ----
+
+// spawnLitLeak: a literal with an unbounded pump loop and no evidence.
+func (s *svc) spawnLitLeak() {
+	go func() { // want `goroutine has no shutdown path`
+		for {
+			s.ch <- 1
+		}
+	}()
+}
+
+// spawnNamedLeak is the cross-function positive: the spawned method is
+// resolved through facts, and pump has no shutdown evidence either.
+func (s *svc) spawnNamedLeak() {
+	go s.pump() // want `goroutine has no shutdown path`
+}
+
+func (s *svc) pump() {
+	for {
+		s.ch <- 1
+	}
+}
+
+// spawnDeepLeak: two hops down the call chain, still no evidence.
+func (s *svc) spawnDeepLeak() {
+	go s.outerLeak() // want `goroutine has no shutdown path`
+}
+
+func (s *svc) outerLeak() { s.pump() }
+
+// ---- negatives ----
+
+// spawnWithAdd: WaitGroup accounting at the spawn site.
+func (s *svc) spawnWithAdd() {
+	s.wg.Add(1)
+	go s.pump()
+}
+
+// spawnWithDone: WaitGroup accounting inside the spawned literal.
+func (s *svc) spawnWithDone() {
+	go func() {
+		defer s.wg.Done()
+		s.ch <- 1
+	}()
+}
+
+// spawnSelectStop is the cross-function negative: run's select on the
+// stop channel is found through facts.
+func (s *svc) spawnSelectStop() {
+	go s.run()
+}
+
+func (s *svc) run() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case v := <-s.ch:
+			_ = v
+		}
+	}
+}
+
+// spawnDeepStop: the shutdown select two hops down still counts.
+func (s *svc) spawnDeepStop() {
+	go s.outerRun()
+}
+
+func (s *svc) outerRun() { s.run() }
+
+// spawnCtx: a direct ctx.Done receive in the literal.
+func (s *svc) spawnCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// spawnRange: ranging a channel ends when the channel closes.
+func (s *svc) spawnRange() {
+	go func() {
+		for v := range s.ch {
+			_ = v
+		}
+	}()
+}
+
+// spawnOpaque: a function value cannot be resolved; goleak stays silent
+// rather than guessing.
+func (s *svc) spawnOpaque(f func()) {
+	go f()
+}
+
+// spawnIgnored: the audited escape hatch.
+func (s *svc) spawnIgnored() {
+	//lint:ignore goleak fixture demonstrates the audited escape hatch
+	go s.pump()
+}

@@ -1,0 +1,15 @@
+// Package notserver has no //wiscape:server directive and no server path
+// element: goleak must not report here even for an evidence-free spawn.
+package notserver
+
+type worker struct {
+	ch chan int
+}
+
+func (w *worker) spawn() {
+	go func() {
+		for {
+			w.ch <- 1
+		}
+	}()
+}

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 
+	"lockio/remote"
+
 	"repro/internal/wire"
 )
 
@@ -99,6 +101,51 @@ func (s *server) branchScoped(fast bool) {
 		s.mu.Unlock()
 	}
 	s.ch <- 1
+}
+
+// ---- interprocedural cases (the facts engine at work) ----
+
+// notify blocks on a channel send; count is pure. Neither is flagged
+// here — the lock context is the caller's.
+func (s *server) notify() { s.ch <- 1 }
+func (s *server) count() int {
+	return len(s.conns)
+}
+
+// helperBad: the blocking send is one function deep.
+func (s *server) helperBad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notify() // want `s\.mu held across call to \(server\)\.notify \(may block: channel send\)`
+}
+
+// crossPkgDialBad: the dial hides behind a package boundary.
+func (s *server) crossPkgDialBad(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = remote.Dial(addr) // want `s\.mu held across call to remote\.Dial \(may block: net\.Dial\)`
+}
+
+// crossPkgWriteBad: same, for a conn write wrapper.
+func (s *server) crossPkgWriteBad(nc net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = remote.Ping(nc) // want `s\.mu held across call to remote\.Ping \(may block: \(net\.Conn\)\.Write\)`
+}
+
+// helperGood: pure helpers stay legal under the lock.
+func (s *server) helperGood(addr string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return remote.Distance(s.count(), len(addr))
+}
+
+// suppressedInterproc: facts findings use the same audited escape hatch.
+func (s *server) suppressedInterproc() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockio fixture demonstrates suppression of a facts finding
+	s.notify()
 }
 
 func (s *server) suppressed(nc net.Conn) {

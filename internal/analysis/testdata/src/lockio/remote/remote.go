@@ -1,0 +1,26 @@
+// Package remote is the cross-package half of the lockio facts fixture:
+// its functions block (dial, conn write) without that being visible at
+// any call site outside this package.
+package remote
+
+import "net"
+
+// Dial blocks on the network.
+func Dial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr)
+}
+
+// Ping writes to the connection; the write can block on the peer's TCP
+// window.
+func Ping(nc net.Conn) error {
+	_, err := nc.Write([]byte("ping"))
+	return err
+}
+
+// Distance is pure: calling it under a lock is fine.
+func Distance(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -339,6 +339,7 @@ func (g *Gateway) handle(nc net.Conn) {
 				if g.met != nil {
 					g.met.protoErrors.Inc()
 				}
+				//lint:ignore errdrop best-effort reply on a connection already failing
 				_ = c.Send(errEnvelope("message too large"))
 			case errors.Is(err, os.ErrDeadlineExceeded):
 				if g.met != nil {

@@ -169,7 +169,9 @@ func Serve(ctrl *core.Controller, addr string, opts Options) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		if st != nil {
-			_ = st.Close()
+			if cerr := st.Close(); cerr != nil {
+				opts.Logf("coordinator: closing store after listen failure: %v", cerr)
+			}
 		}
 		return nil, fmt.Errorf("coordinator: listen %s: %w", addr, err)
 	}
@@ -193,7 +195,9 @@ func Serve(ctrl *core.Controller, addr string, opts Options) (*Server, error) {
 		if err != nil {
 			_ = ln.Close()
 			if st != nil {
-				_ = st.Close()
+				if cerr := st.Close(); cerr != nil {
+					opts.Logf("coordinator: closing store after ops failure: %v", cerr)
+				}
 			}
 			return nil, fmt.Errorf("coordinator: %w", err)
 		}
@@ -356,6 +360,7 @@ func (s *Server) handle(nc net.Conn) {
 			switch {
 			case errors.Is(err, wire.ErrMessageTooLarge):
 				s.met.protoErrors.Inc()
+				//lint:ignore errdrop best-effort reply on a connection already failing
 				_ = c.Send(errEnvelope("message too large"))
 			case errors.Is(err, os.ErrDeadlineExceeded):
 				s.met.idleDisconnects.Inc()

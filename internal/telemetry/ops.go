@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -35,7 +36,7 @@ type OpsServer struct {
 	mux    *http.ServeMux
 	logf   func(string, ...any)
 	closed atomic.Bool
-	done   chan struct{}
+	wg     sync.WaitGroup
 }
 
 // NewOpsServer binds addr (e.g. "127.0.0.1:0"), installs the standard
@@ -55,7 +56,6 @@ func NewOpsServer(addr string, opts OpsOptions) (*OpsServer, error) {
 		ln:   ln,
 		mux:  mux,
 		logf: opts.Logf,
-		done: make(chan struct{}),
 		srv: &http.Server{
 			Handler:           mux,
 			ReadHeaderTimeout: 5 * time.Second,
@@ -94,8 +94,9 @@ func NewOpsServer(addr string, opts OpsOptions) (*OpsServer, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
+	s.wg.Add(1)
 	go func() {
-		defer close(s.done)
+		defer s.wg.Done()
 		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			s.logf("telemetry: ops server: %v", err)
 		}
@@ -150,6 +151,6 @@ func (s *OpsServer) Close() error {
 		// Shutdown timed out with requests still in flight; hard-close.
 		err = s.srv.Close()
 	}
-	<-s.done
+	s.wg.Wait()
 	return err
 }

@@ -3,7 +3,7 @@
 # detector (the store/coordinator shutdown paths are race-sensitive).
 GO ?= go
 
-.PHONY: all vet lint lint-baseline lint-sarif build test race ci bench bench-ingest bench-gateway swarm-smoke fuzz
+.PHONY: all vet lint lint-baseline lint-sarif build test race ci bench bench-ingest bench-gateway bench-sketch swarm-smoke fuzz
 
 all: vet lint build test
 
@@ -38,10 +38,11 @@ race:
 
 ci: vet lint build race
 
-# Short-burst coverage-guided fuzz of the wire decoder (the checked-in
-# corpus under internal/wire/testdata/fuzz seeds it).
+# Short-burst coverage-guided fuzz of the wire decoder and the sketch
+# serializer (checked-in corpora under */testdata/fuzz seed both).
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire
+	$(GO) test -fuzz=FuzzSketchRoundTrip -fuzztime=30s ./internal/sketch
 
 # All benchmarks, repo-wide, without re-running unit tests alongside them.
 bench:
@@ -55,6 +56,13 @@ bench-ingest:
 # behind a single-shard gateway (compare the samples/s metric).
 bench-gateway:
 	$(GO) test -bench='BenchmarkSwarm' -benchmem -run='^$$' ./internal/cluster/
+
+# Sketch substrate: ingest/merge/quantile throughput plus the per-zone
+# resident-bytes curve (BenchmarkZoneStateFootprint reports bytes/zone —
+# it must stay flat as the sample count grows; see BENCH_sketch.json).
+bench-sketch:
+	$(GO) test -bench='BenchmarkDigest|BenchmarkEpochSketch' -benchmem -run='^$$' ./internal/sketch/
+	$(GO) test -bench='BenchmarkZoneStateFootprint' -benchmem -run='^$$' ./internal/core/
 
 # Cluster smoke: build both cluster binaries and run the gateway + swarm
 # suite (including the 200-agent load test) under the race detector.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/rng"
+	"repro/internal/sketch"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -487,23 +488,77 @@ func (g *Gateway) routeSamples(sess *session, sr *wire.SampleReport) wire.Envelo
 	return wire.Envelope{Type: wire.TypeSampleAck, SampleAck: &wire.SampleAck{Accepted: accepted}}
 }
 
-// fanoutEstimate queries shards in registration order and returns the
-// first found record. Zone IDs are shard-grid-relative, so two shards can
-// in principle both publish the queried ID; registration order breaks the
-// tie, the same rule core.Federation uses for overlapping boxes.
+// fanoutEstimate queries every shard and merges the found replies. Zone
+// IDs are shard-grid-relative, so two shards can both publish the queried
+// ID; when more than one does, their serialized window sketches are merged
+// (digest + moments — order-independent within the sketch's rank-error
+// tolerance) and the reply is synthesized from the merged distribution
+// instead of averaging point estimates. A reply without a usable sketch
+// falls back to the old rule: first found (registration order) wins.
 // Unavailable shards are skipped: a degraded region degrades its own
 // answers only.
 func (g *Gateway) fanoutEstimate(sess *session, req wire.Envelope) wire.Envelope {
+	var found []*wire.EstimateReply
 	for _, sh := range g.reg.Shards() {
 		up, err := g.forward(sess, sh, req)
 		if err != nil {
 			continue
 		}
 		if up.Type == wire.TypeEstimateReply && up.EstimateReply.Found {
-			return up
+			found = append(found, up.EstimateReply)
 		}
 	}
-	return wire.Envelope{Type: wire.TypeEstimateReply, EstimateReply: &wire.EstimateReply{Found: false}}
+	if len(found) == 0 {
+		return wire.Envelope{Type: wire.TypeEstimateReply, EstimateReply: &wire.EstimateReply{Found: false}}
+	}
+	if len(found) == 1 {
+		return wire.Envelope{Type: wire.TypeEstimateReply, EstimateReply: found[0]}
+	}
+	merged := mergeEstimates(found)
+	if merged == nil {
+		// At least one reply lacked a decodable sketch; preserve the
+		// pre-sketch behavior rather than mixing incomparable summaries.
+		return wire.Envelope{Type: wire.TypeEstimateReply, EstimateReply: found[0]}
+	}
+	if g.met != nil {
+		g.met.estimateMerges.Inc()
+	}
+	return wire.Envelope{Type: wire.TypeEstimateReply, EstimateReply: merged}
+}
+
+// mergeEstimates folds multi-shard estimate replies into one via their
+// window sketches. Returns nil unless every reply carries a valid sketch.
+func mergeEstimates(found []*wire.EstimateReply) *wire.EstimateReply {
+	sketches := make([]*sketch.EpochSketch, 0, len(found))
+	for _, r := range found {
+		if len(r.Sketch) == 0 {
+			return nil
+		}
+		es, err := sketch.UnmarshalEpochSketch(r.Sketch)
+		if err != nil {
+			return nil
+		}
+		sketches = append(sketches, es)
+	}
+	acc := sketches[0]
+	for _, es := range sketches[1:] {
+		acc.Merge(es)
+	}
+	rec := core.Record{
+		Key:       found[0].Record.Key,
+		MeanValue: acc.Mean(),
+		StdDev:    acc.StdDev(),
+		Samples:   acc.Count(),
+		P50:       acc.Quantile(0.50),
+		P90:       acc.Quantile(0.90),
+		P99:       acc.Quantile(0.99),
+	}
+	for _, r := range found {
+		if r.Record.UpdatedAt.After(rec.UpdatedAt) {
+			rec.UpdatedAt = r.Record.UpdatedAt
+		}
+	}
+	return &wire.EstimateReply{Found: true, Record: rec, Sketch: acc.MarshalBinary()}
 }
 
 // fanoutZoneList merges every reachable shard's records into one reply,

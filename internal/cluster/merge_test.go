@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/sketch"
+	"repro/internal/trace"
+)
+
+// TestGatewayEstimateMergesShardSketches is the fan-out merge acceptance
+// test: the same seeded sample stream is split alternately across two
+// shards that both publish the queried (shard-grid-relative) zone ID, and
+// the gateway's merged answer must match a single-coordinator run on the
+// full stream — exactly for the moments (parallel Welford merge), within
+// rank-error tolerance for the quantiles.
+func TestGatewayEstimateMergesShardSketches(t *testing.T) {
+	tc := startCluster(t, GatewayOptions{})
+
+	madLoc := geo.Madison().Center()
+	njLoc := geo.NewBrunswickArea().Center()
+	zone := tc.madCtrl.ZoneOf(madLoc)
+	if njZone := tc.njCtrl.ZoneOf(njLoc); njZone != zone {
+		t.Fatalf("grid centers map to different relative zone IDs (%s vs %s); the merge path needs both shards to publish the same ID", zone, njZone)
+	}
+
+	// The single-coordinator reference shares the madison shard's config
+	// and grid but sees the whole stream.
+	ref, _ := startShard(t, geo.Madison(), "127.0.0.1:0")
+	refCtrl := ref.Controller()
+
+	r := rng.New(77)
+	at := start
+	var vals []float64
+	const n = 800
+	for i := 0; i < n; i++ {
+		v := 900 + 80*r.NormFloat64()
+		vals = append(vals, v)
+		loc := madLoc
+		ctrl := tc.madCtrl
+		if i%2 == 1 {
+			loc = njLoc
+			ctrl = tc.njCtrl
+		}
+		s := trace.Sample{
+			Time: at, Loc: loc, Network: radio.NetB,
+			Metric: trace.MetricUDPKbps, Value: v, ClientID: "merge-test",
+		}
+		ctrl.Ingest(s)
+		s.Loc = madLoc
+		refCtrl.Ingest(s)
+		at = at.Add(30 * time.Second)
+	}
+
+	est, err := agent.QueryEstimate(tc.gw.Addr(), zone, radio.NetB, trace.MetricUDPKbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !est.Found {
+		t.Fatal("merged estimate not found")
+	}
+	if est.Record.Samples != n {
+		t.Fatalf("merged sample count %d, want %d (both shards' windows)", est.Record.Samples, n)
+	}
+
+	// Moments merge exactly.
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	if mean := sum / n; math.Abs(est.Record.MeanValue-mean) > 1e-9 {
+		t.Fatalf("merged mean %v vs batch %v (Welford merge must be exact)", est.Record.MeanValue, mean)
+	}
+
+	// Quantiles stay within rank-error tolerance of the exact stream.
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	rank := func(v float64) float64 {
+		return float64(sort.SearchFloat64s(sorted, v)) / float64(len(sorted))
+	}
+	for q, got := range map[float64]float64{0.50: est.Record.P50, 0.90: est.Record.P90, 0.99: est.Record.P99} {
+		if err := math.Abs(rank(got) - q); err > 0.02 {
+			t.Errorf("merged q=%.2f -> %v has rank error %.4f", q, got, err)
+		}
+	}
+
+	// The merged reply carries a decodable merged sketch whose quantiles
+	// agree with the single-coordinator run on the same stream.
+	if len(est.Sketch) == 0 {
+		t.Fatal("merged reply is missing its sketch payload")
+	}
+	merged, err := sketch.UnmarshalEpochSketch(est.Sketch)
+	if err != nil {
+		t.Fatalf("merged sketch: %v", err)
+	}
+	refBytes, ok := refCtrl.SketchFor(refCtrl.Keys()[0])
+	if !ok {
+		t.Fatal("reference controller has no sketch")
+	}
+	refSketch, err := sketch.UnmarshalEpochSketch(refBytes)
+	if err != nil {
+		t.Fatalf("reference sketch: %v", err)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		a, b := merged.Quantile(q), refSketch.Quantile(q)
+		if math.Abs(rank(a)-rank(b)) > 0.02 {
+			t.Errorf("q=%.2f: merged %v vs single-coordinator %v diverge beyond rank tolerance", q, a, b)
+		}
+	}
+
+	if got := tc.counter("wiscape_gateway_estimate_merges_total"); got != 1 {
+		t.Fatalf("estimate merge counter %v, want 1", got)
+	}
+}

@@ -17,14 +17,15 @@ type shardMetrics struct {
 // gatewayMetrics holds the gateway's resolved telemetry instruments; every
 // field is nil-safe so an uninstrumented gateway pays nothing.
 type gatewayMetrics struct {
-	conns        *telemetry.Counter
-	unroutable   *telemetry.Counter // reports whose location no shard covers
-	droppedSmps  *telemetry.Counter // samples lost to unavailable shards
-	routeSec     *telemetry.Histogram
-	perShard     map[string]*shardMetrics
-	wire         *wire.Metrics
-	protoErrors  *telemetry.Counter
-	idleTimeouts *telemetry.Counter
+	conns          *telemetry.Counter
+	unroutable     *telemetry.Counter // reports whose location no shard covers
+	droppedSmps    *telemetry.Counter // samples lost to unavailable shards
+	routeSec       *telemetry.Histogram
+	perShard       map[string]*shardMetrics
+	wire           *wire.Metrics
+	protoErrors    *telemetry.Counter
+	idleTimeouts   *telemetry.Counter
+	estimateMerges *telemetry.Counter // estimate fan-outs answered by sketch merge
 }
 
 // newGatewayMetrics registers the gateway families on reg (nil reg gives a
@@ -54,6 +55,8 @@ func newGatewayMetrics(reg *telemetry.Registry, shards []*Shard, healthyCount fu
 			"Requests answered with a protocol error.").With(),
 		idleTimeouts: reg.Counter("wiscape_gateway_idle_disconnects_total",
 			"Agent connections dropped for exceeding the idle timeout.").With(),
+		estimateMerges: reg.Counter("wiscape_gateway_estimate_merges_total",
+			"Estimate fan-outs answered by merging multiple shards' sketches.").With(),
 		perShard: make(map[string]*shardMetrics, len(shards)),
 		wire:     wire.NewMetrics(reg),
 	}

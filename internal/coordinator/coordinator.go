@@ -185,7 +185,8 @@ func Serve(ctrl *core.Controller, addr string, opts Options) (*Server, error) {
 		r:       rng.NewNamed(opts.Seed, "coordinator-tasks"),
 		stop:    make(chan struct{}),
 	}
-	s.met = newCoordMetrics(opts.Telemetry, s.ClientCount)
+	s.met = newCoordMetrics(opts.Telemetry, s.ClientCount,
+		func() int64 { return s.Controller().DroppedAlerts() })
 	if opts.OpsAddr != "" {
 		ops, err := telemetry.NewOpsServer(opts.OpsAddr, telemetry.OpsOptions{
 			Registry: opts.Telemetry,
@@ -457,8 +458,15 @@ func (s *Server) dispatch(req wire.Envelope) (reply wire.Envelope, fatal bool) {
 		if er == nil {
 			return errEnvelope("empty estimate request"), true
 		}
-		rec, ok := s.ctrl.Estimate(core.Key{Zone: er.Zone, Net: er.Network, Metric: er.Metric})
-		return wire.Envelope{Type: wire.TypeEstimateReply, EstimateReply: &wire.EstimateReply{Found: ok, Record: rec}}, false
+		key := core.Key{Zone: er.Zone, Net: er.Network, Metric: er.Metric}
+		rec, ok := s.ctrl.Estimate(key)
+		reply := &wire.EstimateReply{Found: ok, Record: rec}
+		if ok {
+			// Attach the window sketch so gateways can merge per-shard
+			// distributions instead of averaging point estimates.
+			reply.Sketch, _ = s.ctrl.SketchFor(key)
+		}
+		return wire.Envelope{Type: wire.TypeEstimateReply, EstimateReply: reply}, false
 
 	default:
 		return errEnvelope(fmt.Sprintf("unexpected message type %q", req.Type)), true

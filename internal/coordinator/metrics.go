@@ -29,10 +29,13 @@ type coordMetrics struct {
 // newCoordMetrics registers the coordinator families on reg. The
 // active-clients gauge is computed at scrape time from the live registry
 // via clientCount, so there is no update site to forget.
-func newCoordMetrics(reg *telemetry.Registry, clientCount func() int) *coordMetrics {
+func newCoordMetrics(reg *telemetry.Registry, clientCount func() int, droppedAlerts func() int64) *coordMetrics {
 	reg.GaugeFunc("wiscape_coordinator_active_clients",
 		"Clients currently registered with the coordinator.",
 		func() float64 { return float64(clientCount()) })
+	reg.GaugeFunc("wiscape_coordinator_alerts_dropped_total",
+		"Alerts overwritten unread because the controller's alert ring was full.",
+		func() float64 { return float64(droppedAlerts()) })
 	reqs := reg.Counter("wiscape_coordinator_requests_total",
 		"Protocol requests dispatched, by message type.", "type")
 	byType := make(map[wire.MsgType]*telemetry.Counter)

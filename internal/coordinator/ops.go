@@ -26,6 +26,12 @@ type ZoneEstimate struct {
 	StdDev  float64 `json:"stddev"`
 	Samples int64   `json:"samples"`
 
+	// P50/P90/P99 come from the epoch's quantile sketch (internal/sketch):
+	// the distribution's shape, not just its first two moments.
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+
 	// EpochSeconds is the zone's current estimation epoch length;
 	// TotalSamples counts every sample ever ingested for the key.
 	EpochSeconds float64 `json:"epoch_seconds"`
@@ -73,13 +79,14 @@ func (s *Server) installOpsEndpoints(ops *telemetry.OpsServer) {
 	})
 }
 
-// zoneEstimates builds the live view: the controller snapshot supplies the
-// key universe, epoch lengths and published records, and keys whose first
-// epoch has not closed yet fall back to Estimate's running accumulator so
+// zoneEstimates builds the live view: the controller's View (a snapshot
+// without serialized sketches — no per-scrape serialization cost) supplies
+// the key universe, epoch lengths and published records, and keys whose
+// first epoch has not closed yet fall back to Estimate's running sketch so
 // a freshly started coordinator is not invisible to its operator.
 func (s *Server) zoneEstimates(zone *geo.ZoneID, net radio.NetworkID, metric trace.Metric) []ZoneEstimate {
 	now := time.Now()
-	snap := s.ctrl.Snapshot(now)
+	snap := s.ctrl.View(now)
 	out := []ZoneEstimate{}
 	for _, e := range snap.Entries {
 		if zone != nil && e.Key.Zone != *zone {
@@ -110,6 +117,9 @@ func (s *Server) zoneEstimates(zone *geo.ZoneID, net radio.NetworkID, metric tra
 			ze.Mean = rec.MeanValue
 			ze.StdDev = rec.StdDev
 			ze.Samples = rec.Samples
+			ze.P50 = rec.P50
+			ze.P90 = rec.P90
+			ze.P99 = rec.P99
 			ze.UpdatedAt = rec.UpdatedAt
 			if !rec.UpdatedAt.IsZero() {
 				ze.StalenessSeconds = now.Sub(rec.UpdatedAt).Seconds()

@@ -186,6 +186,14 @@ func TestOpsPlaneEndToEnd(t *testing.T) {
 			if e.TotalSamples != 50 {
 				t.Errorf("total_samples = %d, want 50", e.TotalSamples)
 			}
+			// The sketch-backed quantile fields are populated and ordered.
+			if e.P50 != want.P50 || e.P90 != want.P90 || e.P99 != want.P99 {
+				t.Errorf("quantiles %v/%v/%v disagree with controller %v/%v/%v",
+					e.P50, e.P90, e.P99, want.P50, want.P90, want.P99)
+			}
+			if e.P50 <= 0 || e.P50 > e.P90 || e.P90 > e.P99 {
+				t.Errorf("quantiles %v/%v/%v not positive and non-decreasing", e.P50, e.P90, e.P99)
+			}
 		}
 	}
 	if !found {

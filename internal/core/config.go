@@ -73,10 +73,42 @@ type Config struct {
 	// this many standard deviations (§3.4: two).
 	ChangeSigmas float64
 
-	// HistoryLimit bounds the per-(zone, network, metric) sample history
-	// retained for epoch and sample-count re-estimation.
+	// HistoryLimit bounds the per-(zone, network, metric) retained window
+	// weight: when the trailing-window sketch reaches this many samples'
+	// worth of mass, it is decayed by half (the sketch analogue of
+	// dropping the oldest half of a sample buffer).
 	HistoryLimit int
+
+	// WindowCompression is the t-digest compression δ of the per-key
+	// trailing-window sketch. Zero selects sketch.DefaultCompression.
+	WindowCompression float64
+
+	// EpochCompression is the digest compression of the current-epoch
+	// sketch (smaller: an epoch sees at most one epoch's samples). Zero
+	// selects sketch.EpochCompression.
+	EpochCompression float64
+
+	// TrendSlots is the slot budget of the telescoping trend ring backing
+	// the Allan epoch derivation. Zero selects sketch.DefaultTrendSlots.
+	TrendSlots int
+
+	// AlertBuffer caps the pending (undrained) alert queue; beyond it the
+	// oldest alerts are overwritten and counted as dropped. Zero selects
+	// DefaultAlertBuffer.
+	AlertBuffer int
+
+	// FailureRetentionDays bounds the per-(zone, network) ping-failure
+	// day map; the oldest observed days are evicted beyond it. Zero
+	// selects DefaultFailureRetentionDays.
+	FailureRetentionDays int
 }
+
+// DefaultAlertBuffer is the pending-alert ring capacity.
+const DefaultAlertBuffer = 1024
+
+// DefaultFailureRetentionDays keeps well over a year of per-day ping
+// failure observations (Fig. 9 analyses span months).
+const DefaultFailureRetentionDays = 400
 
 // DefaultConfig returns the paper's parameter choices.
 func DefaultConfig() Config {
@@ -112,12 +144,17 @@ type Key struct {
 }
 
 // Record is a published zone estimate: what the coordinator serves to
-// querying applications.
+// querying applications. P50/P90/P99 come from the epoch's quantile
+// sketch — applications see the distribution's shape, not just its first
+// two moments.
 type Record struct {
 	Key       Key
 	MeanValue float64
 	StdDev    float64
 	Samples   int64
+	P50       float64
+	P90       float64
+	P99       float64
 	UpdatedAt time.Time
 }
 

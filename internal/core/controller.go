@@ -9,23 +9,34 @@ import (
 	"repro/internal/device"
 	"repro/internal/geo"
 	"repro/internal/radio"
+	"repro/internal/sketch"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
-// zoneState is the mutable per-(zone, network, metric) state.
+// zoneState is the mutable per-(zone, network, metric) state. Every piece
+// is constant-memory: the trailing window and current epoch are quantile
+// sketches (internal/sketch), not sample buffers, so a zone's footprint is
+// the same after its millionth sample as after its hundredth.
 type zoneState struct {
-	history []stats.TimedValue // bounded sample history (for epoch/NKLD analysis)
+	// window is the trailing-window sketch: quantile digest + exact
+	// moments + telescoping trend ring. It feeds the NKLD sample-count
+	// analysis (via quantile-spaced reconstruction), the Allan epoch
+	// derivation (via the trend series) and checkpoint/fan-out payloads.
+	window *sketch.EpochSketch
 
-	epoch        time.Duration // current epoch length (Allan minimum)
-	epochValid   bool
-	epochSamples int // history length when the epoch was last computed
+	// cur accumulates the epoch window currently being filled; its digest
+	// supplies the published record's quantiles.
+	cur *sketch.EpochSketch
 
-	required        int // NKLD-derived samples per epoch (0 = not yet derived)
-	requiredSamples int // history length when required was last computed
+	epoch      time.Duration // current epoch length (Allan minimum)
+	epochValid bool
+	epochCount int64 // window sample count when the epoch was last computed
 
-	curEpochIdx int64       // index of the epoch window being accumulated
-	cur         stats.Accum // accumulator for the current epoch
+	required      int   // NKLD-derived samples per epoch (0 = not yet derived)
+	requiredCount int64 // window sample count when required was last computed
+
+	curEpochIdx int64 // index of the epoch window being accumulated
 
 	published  Record
 	hasRecord  bool
@@ -44,8 +55,16 @@ type Controller struct {
 
 	mu       sync.Mutex
 	zones    map[Key]*zoneState
-	alerts   []Alert
 	failures map[failKey]map[int64]int // ping failures per zone per day (Fig. 9)
+
+	// alerts is a fixed-capacity ring: alertHead indexes the oldest
+	// pending alert, alertLen counts pending ones. When full, the oldest
+	// is overwritten and alertsDropped incremented — an unread backlog
+	// must not grow without bound.
+	alerts        []Alert
+	alertHead     int
+	alertLen      int
+	alertsDropped int64
 }
 
 // failKey tracks ping failures per zone and network.
@@ -59,12 +78,43 @@ func NewController(cfg Config, origin geo.Point) *Controller {
 	if cfg.ZoneRadiusM <= 0 {
 		cfg = DefaultConfig()
 	}
+	// Default the sketch-era knobs individually: configs persisted before
+	// they existed (old snapshots) deserialize with zeros.
+	if cfg.WindowCompression <= 0 {
+		cfg.WindowCompression = sketch.DefaultCompression
+	}
+	if cfg.EpochCompression <= 0 {
+		cfg.EpochCompression = sketch.EpochCompression
+	}
+	if cfg.TrendSlots <= 0 {
+		cfg.TrendSlots = sketch.DefaultTrendSlots
+	}
+	if cfg.AlertBuffer <= 0 {
+		cfg.AlertBuffer = DefaultAlertBuffer
+	}
+	if cfg.FailureRetentionDays <= 0 {
+		cfg.FailureRetentionDays = DefaultFailureRetentionDays
+	}
 	return &Controller{
 		cfg:      cfg,
 		grid:     geo.GridForZoneRadius(origin, cfg.ZoneRadiusM),
 		zones:    make(map[Key]*zoneState),
 		failures: make(map[failKey]map[int64]int),
+		alerts:   make([]Alert, cfg.AlertBuffer),
 	}
+}
+
+// newZoneState builds an empty per-key state with the configured sketch
+// shapes.
+func (c *Controller) newZoneState() *zoneState {
+	st := &zoneState{
+		window:      sketch.NewEpochSketch(c.cfg.WindowCompression),
+		cur:         sketch.NewEpochSketch(c.cfg.EpochCompression),
+		epoch:       c.cfg.DefaultEpoch,
+		curEpochIdx: -1,
+	}
+	st.window.EnableTrend(c.cfg.TrendSlots, time.Minute)
+	return st
 }
 
 // Config returns the controller's configuration.
@@ -98,16 +148,7 @@ func (c *Controller) Ingest(s trace.Sample) {
 	defer c.mu.Unlock()
 
 	if s.Metric == trace.MetricRTTMs {
-		fk := failKey{Zone: zone, Net: s.Network}
-		day := s.Time.Sub(radio.Epoch) / (24 * time.Hour)
-		if c.failures[fk] == nil {
-			c.failures[fk] = make(map[int64]int)
-		}
-		if s.Failed {
-			c.failures[fk][int64(day)]++
-		} else {
-			c.failures[fk][int64(day)] += 0 // mark the day as observed
-		}
+		c.trackFailureLocked(failKey{Zone: zone, Net: s.Network}, s)
 	}
 	if s.Failed {
 		return
@@ -116,25 +157,27 @@ func (c *Controller) Ingest(s trace.Sample) {
 	key := Key{Zone: zone, Net: s.Network, Metric: s.Metric}
 	st := c.zones[key]
 	if st == nil {
-		st = &zoneState{epoch: c.cfg.DefaultEpoch, curEpochIdx: -1}
+		st = c.newZoneState()
 		c.zones[key] = st
 	}
 
-	// Bounded history (drop oldest half when full, keeping memory O(1)).
-	if len(st.history) >= c.cfg.HistoryLimit {
-		half := c.cfg.HistoryLimit / 2
-		st.history = append(st.history[:0], st.history[len(st.history)-half:]...)
+	// Bounded window: once the sketch's retained weight reaches the
+	// history limit, halve it. Decay stands in for the old "drop the
+	// oldest half of the buffer" — recent epochs dominate the window while
+	// memory stays fixed.
+	if st.window.Weight() >= float64(c.cfg.HistoryLimit) {
+		st.window.Decay(0.5)
 	}
-	st.history = append(st.history, stats.TimedValue{T: s.Time, V: s.Value})
+	st.window.Observe(s.Time, s.Value)
 	st.totalCount++
 
-	// Periodically re-derive the zone epoch from history (every time the
-	// history grows 50% past the last analysis).
-	if !c.cfg.DisableEpochAdaptation && (!st.epochValid || len(st.history) > st.epochSamples*3/2) {
-		if ep, ok := c.epochFromHistory(st.history); ok {
+	// Periodically re-derive the zone epoch from the window trend (every
+	// time the window grows 50% past the last analysis).
+	if !c.cfg.DisableEpochAdaptation && (!st.epochValid || st.window.Count() > st.epochCount*3/2) {
+		if ep, ok := c.epochFromWindow(st.window); ok {
 			st.epoch = ep
 			st.epochValid = true
-			st.epochSamples = len(st.history)
+			st.epochCount = st.window.Count()
 		}
 	}
 
@@ -146,12 +189,52 @@ func (c *Controller) Ingest(s trace.Sample) {
 	st.cur.Add(s.Value)
 }
 
+// trackFailureLocked records a ping observation (failed or not) for the
+// Fig. 9 per-day failure analysis, evicting the oldest day beyond the
+// retention horizon so the map cannot grow without bound.
+func (c *Controller) trackFailureLocked(fk failKey, s trace.Sample) {
+	day := int64(s.Time.Sub(radio.Epoch) / (24 * time.Hour))
+	days := c.failures[fk]
+	if days == nil {
+		days = make(map[int64]int)
+		c.failures[fk] = days
+	}
+	if s.Failed {
+		days[day]++
+	} else if _, seen := days[day]; !seen {
+		days[day] = 0 // mark the day as observed
+	}
+	for len(days) > c.cfg.FailureRetentionDays {
+		oldest := int64(math.MaxInt64)
+		for d := range days {
+			if d < oldest {
+				oldest = d
+			}
+		}
+		delete(days, oldest)
+	}
+}
+
 // IngestDataset folds a whole dataset in time order.
 func (c *Controller) IngestDataset(d *trace.Dataset) {
 	sorted := &trace.Dataset{Name: d.Name, Samples: append([]trace.Sample(nil), d.Samples...)}
 	sorted.SortByTime()
 	for _, s := range sorted.Samples {
 		c.Ingest(s)
+	}
+}
+
+// recordFrom builds a publishable record from the closing epoch sketch.
+func recordFrom(key Key, es *sketch.EpochSketch, at time.Time) Record {
+	return Record{
+		Key:       key,
+		MeanValue: es.Mean(),
+		StdDev:    es.StdDev(),
+		Samples:   es.Count(),
+		P50:       es.Quantile(0.50),
+		P90:       es.Quantile(0.90),
+		P99:       es.Quantile(0.99),
+		UpdatedAt: at,
 	}
 }
 
@@ -162,14 +245,8 @@ func (c *Controller) finalizeEpochLocked(key Key, st *zoneState, at time.Time) {
 	if st.cur.Count() == 0 {
 		return
 	}
-	candidate := Record{
-		Key:       key,
-		MeanValue: st.cur.Mean(),
-		StdDev:    st.cur.StdDev(),
-		Samples:   st.cur.Count(),
-		UpdatedAt: at,
-	}
-	defer func() { st.cur.Reset() }()
+	candidate := recordFrom(key, st.cur, at)
+	defer func() { st.cur.Reset(0) }()
 
 	if !st.hasRecord {
 		st.published = candidate
@@ -198,34 +275,59 @@ func (c *Controller) finalizeEpochLocked(key Key, st *zoneState, at time.Time) {
 	// alert on any noise — e.g. a single lost packet in a loss-free zone).
 	if threshold > 0 && delta > threshold && candidate.Samples >= int64(c.cfg.MinAlertSamples) && prev.Samples >= int64(c.cfg.MinAlertSamples) {
 		st.published = candidate
-		c.alerts = append(c.alerts, Alert{Key: key, Previous: prev, Current: candidate, At: at})
+		c.pushAlertLocked(Alert{Key: key, Previous: prev, Current: candidate, At: at})
 		return
 	}
 	// Small move: refresh the record's recency and smooth the estimate so
 	// slow drift is tracked without alert noise.
 	st.published.MeanValue = 0.7*prev.MeanValue + 0.3*candidate.MeanValue
 	st.published.StdDev = 0.7*prev.StdDev + 0.3*candidate.StdDev
+	st.published.P50 = 0.7*prev.P50 + 0.3*candidate.P50
+	st.published.P90 = 0.7*prev.P90 + 0.3*candidate.P90
+	st.published.P99 = 0.7*prev.P99 + 0.3*candidate.P99
 	st.published.Samples += candidate.Samples
 	st.published.UpdatedAt = at
 }
 
-// epochFromHistory derives a zone epoch as the Allan-deviation minimum of
-// the regularized history (§3.2.2).
-func (c *Controller) epochFromHistory(history []stats.TimedValue) (time.Duration, bool) {
-	const period = time.Minute
-	series := stats.RegularSeries(history, period)
+// pushAlertLocked appends to the alert ring, overwriting (and counting)
+// the oldest pending alert when full.
+func (c *Controller) pushAlertLocked(a Alert) {
+	if len(c.alerts) == 0 {
+		c.alertsDropped++
+		return
+	}
+	if c.alertLen == len(c.alerts) {
+		c.alerts[c.alertHead] = a
+		c.alertHead = (c.alertHead + 1) % len(c.alerts)
+		c.alertsDropped++
+		return
+	}
+	c.alerts[(c.alertHead+c.alertLen)%len(c.alerts)] = a
+	c.alertLen++
+}
+
+// epochFromWindow derives a zone epoch as the Allan-deviation minimum of
+// the window's regularized trend series (§3.2.2). The trend ring's slot
+// width adapts to the observed span, so the sweep bounds (configured in
+// minutes) are converted to slot counts.
+func (c *Controller) epochFromWindow(w *sketch.EpochSketch) (time.Duration, bool) {
+	series, period := w.TrendSeries()
 	// Require enough coverage for at least two windows at the sweep floor
 	// times ten, or the estimate is noise.
-	if len(series) < 60 {
+	if len(series) < 60 || period <= 0 {
 		return 0, false
 	}
-	maxWindow := c.cfg.EpochSweepMax
+	minWindow := int(time.Duration(c.cfg.EpochSweepMin) * time.Minute / period)
+	if minWindow < 1 {
+		minWindow = 1
+	}
+	maxWindow := int(time.Duration(c.cfg.EpochSweepMax) * time.Minute / period)
 	// Keep at least ten windows per sweep point: Allan estimates from fewer
 	// are unreliable and yield spurious right-edge minima.
 	if limit := len(series) / 10; limit < maxWindow {
 		maxWindow = limit
 	}
-	windows := stats.LogSpacedWindows(c.cfg.EpochSweepMin, maxWindow, 25)
+	windows := stats.LogSpacedWindows(minWindow, maxWindow, 25)
 	best, _ := stats.MinAllanWindow(series, windows)
 	if best <= 0 {
 		return 0, false
@@ -248,15 +350,10 @@ func (c *Controller) Estimate(key Key) (Record, bool) {
 	if st.hasRecord {
 		return st.published, true
 	}
-	// Before the first epoch closes, serve the running accumulator (marked
-	// by UpdatedAt zero).
+	// Before the first epoch closes, serve the running sketch (marked by
+	// UpdatedAt zero).
 	if st.cur.Count() > 0 {
-		return Record{
-			Key:       key,
-			MeanValue: st.cur.Mean(),
-			StdDev:    st.cur.StdDev(),
-			Samples:   st.cur.Count(),
-		}, true
+		return recordFrom(key, st.cur, time.Time{}), true
 	}
 	return Record{}, false
 }
@@ -266,10 +363,14 @@ func (c *Controller) EstimateAt(p geo.Point, net radio.NetworkID, m trace.Metric
 	return c.Estimate(Key{Zone: c.grid.Zone(p), Net: net, Metric: m})
 }
 
+// nkldReconstructed bounds how many quantile-spaced values are rebuilt
+// from the window digest for the NKLD analysis.
+const nkldReconstructed = 512
+
 // RequiredSamplesFor returns the zone's NKLD-derived per-epoch sample
 // requirement (§3.3), falling back to the configured default until enough
-// history has accumulated. The computation is cached and refreshed as the
-// history grows, so the scheduler can call this on every task round.
+// of the window has accumulated. The computation is cached and refreshed
+// as the window grows, so the scheduler can call this on every task round.
 func (c *Controller) RequiredSamplesFor(key Key) int {
 	c.mu.Lock()
 	st := c.zones[key]
@@ -277,29 +378,30 @@ func (c *Controller) RequiredSamplesFor(key Key) int {
 		c.mu.Unlock()
 		return c.cfg.DefaultSamplesPerEpoch
 	}
-	needRefresh := st.required == 0 || len(st.history) > st.requiredSamples*2
+	count := st.window.Count()
+	needRefresh := st.required == 0 || count > st.requiredCount*2
 	if !needRefresh {
 		n := st.required
 		c.mu.Unlock()
 		return n
 	}
-	// Copy the values out so the (100-iteration resampling) analysis runs
-	// outside the lock.
-	vals := make([]float64, len(st.history))
-	for i, tv := range st.history {
-		vals[i] = tv.V
+	// Reconstruct quantile-spaced values from the digest under the lock
+	// (cheap), then run the 100-iteration resampling analysis outside it.
+	m := int(count)
+	if m > nkldReconstructed {
+		m = nkldReconstructed
 	}
-	histLen := len(st.history)
+	vals := st.window.Samples(m)
 	c.mu.Unlock()
 
-	n, ok := RequiredSamples(vals, c.cfg, uint64(histLen))
+	n, ok := RequiredSamples(vals, c.cfg, uint64(count))
 	if !ok {
 		n = c.cfg.DefaultSamplesPerEpoch
 	}
 
 	c.mu.Lock()
 	st.required = n
-	st.requiredSamples = histLen
+	st.requiredCount = count
 	c.mu.Unlock()
 	return n
 }
@@ -324,14 +426,43 @@ func (c *Controller) SampleCount(key Key) int64 {
 	return 0
 }
 
-// History returns a copy of the retained sample history for a key.
-func (c *Controller) History(key Key) []stats.TimedValue {
+// RetainedBytes returns the fixed memory footprint of a key's estimator
+// state — the acceptance bound the benchmarks assert (≤ 4 KiB regardless
+// of sample count). Zero for untracked keys.
+func (c *Controller) RetainedBytes(key Key) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if st := c.zones[key]; st != nil {
-		return append([]stats.TimedValue(nil), st.history...)
+	st := c.zones[key]
+	if st == nil {
+		return 0
 	}
-	return nil
+	const zoneStateBytes = 120 // scalar fields + published record
+	return st.window.FootprintBytes() + st.cur.FootprintBytes() + zoneStateBytes
+}
+
+// SketchFor serializes a key's trailing-window sketch — the unit shards
+// ship to the cluster gateway for distribution-preserving merges, and the
+// distribution payload of checkpoints. ok is false for untracked keys.
+func (c *Controller) SketchFor(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.zones[key]
+	if st == nil {
+		return nil, false
+	}
+	return st.window.MarshalBinary(), true
+}
+
+// WindowQuantile returns the trailing-window quantile for a key (not the
+// published epoch record — the whole retained distribution).
+func (c *Controller) WindowQuantile(key Key, q float64) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.zones[key]
+	if st == nil || st.window.Count() == 0 {
+		return 0, false
+	}
+	return st.window.Quantile(q), true
 }
 
 // Records returns every published record for a network and metric, in
@@ -357,13 +488,29 @@ func (c *Controller) Records(net radio.NetworkID, m trace.Metric) []Record {
 	return out
 }
 
-// Alerts drains the pending alert queue.
+// Alerts drains the pending alert queue (oldest first).
 func (c *Controller) Alerts() []Alert {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	out := c.alerts
-	c.alerts = nil
+	if c.alertLen == 0 {
+		return nil
+	}
+	out := make([]Alert, c.alertLen)
+	for i := range out {
+		out[i] = c.alerts[(c.alertHead+i)%len(c.alerts)]
+	}
+	c.alertHead = 0
+	c.alertLen = 0
 	return out
+}
+
+// DroppedAlerts returns how many alerts were overwritten unread because
+// the ring was full — the telemetry signal that a consumer is not keeping
+// up.
+func (c *Controller) DroppedAlerts() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.alertsDropped
 }
 
 // Keys returns all tracked keys in deterministic order.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -180,16 +181,27 @@ func TestHistoryBounded(t *testing.T) {
 	cfg.HistoryLimit = 100
 	c := NewController(cfg, origin)
 	at := start
+	key := Key{Zone: c.ZoneOf(origin), Net: radio.NetB, Metric: trace.MetricUDPKbps}
+	var after100 int
 	for i := 0; i < 1000; i++ {
 		c.Ingest(mkSample(at, origin, 900))
 		at = at.Add(time.Second)
+		if i == 99 {
+			after100 = c.RetainedBytes(key)
+		}
 	}
-	key := Key{Zone: c.ZoneOf(origin), Net: radio.NetB, Metric: trace.MetricUDPKbps}
-	if h := c.History(key); len(h) > 100 {
-		t.Fatalf("history grew to %d despite limit 100", len(h))
+	// The sketch substrate keeps per-key state constant: the footprint at
+	// 1000 samples equals the footprint at 100 and stays under the 4 KiB
+	// acceptance budget.
+	got := c.RetainedBytes(key)
+	if got != after100 {
+		t.Fatalf("retained state grew from %dB to %dB with sample count", after100, got)
+	}
+	if got <= 0 || got > 4096 {
+		t.Fatalf("retained state %dB outside (0, 4096]", got)
 	}
 	if got := c.SampleCount(key); got != 1000 {
-		t.Fatalf("total count %d should survive trimming", got)
+		t.Fatalf("total count %d should survive window decay", got)
 	}
 }
 
@@ -525,5 +537,94 @@ func TestRequiredSamplesForCachesAndRefreshes(t *testing.T) {
 	// Cached: immediate re-query is identical and cheap.
 	if n2 := c.RequiredSamplesFor(key); n2 != n1 {
 		t.Fatalf("cache miss: %d vs %d", n1, n2)
+	}
+}
+
+// BenchmarkZoneStateFootprint is the per-zone memory curve behind
+// BENCH_sketch.json: ingest n samples into one (zone, network, metric)
+// key and report the resident estimator bytes. The sketch substrate must
+// hold this flat — the benchmark fails outright if a zone ever exceeds
+// its 4 KiB budget, whatever the sample count.
+func BenchmarkZoneStateFootprint(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		b.Run(fmt.Sprintf("samples=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c := NewController(DefaultConfig(), origin)
+				r := rng.New(13)
+				at := start
+				for j := 0; j < n; j++ {
+					c.Ingest(mkSample(at, origin, 900+10*r.NormFloat64()))
+					at = at.Add(time.Second)
+				}
+				key := Key{Zone: c.ZoneOf(origin), Net: radio.NetB, Metric: trace.MetricUDPKbps}
+				got := c.RetainedBytes(key)
+				if got > 4096 {
+					b.Fatalf("zone state is %d bytes after %d samples; budget is 4096", got, n)
+				}
+				b.ReportMetric(float64(got), "bytes/zone")
+			}
+		})
+	}
+}
+
+func TestAlertRingCapsAndCountsDrops(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AlertBuffer = 4
+	c := NewController(cfg, origin)
+
+	// Drive the ring directly: the overflow mechanics are independent of
+	// how hard the 2σ detector is to trip.
+	c.mu.Lock()
+	for i := 0; i < 10; i++ {
+		c.pushAlertLocked(Alert{At: start.Add(time.Duration(i) * time.Minute)})
+	}
+	c.mu.Unlock()
+
+	got := c.Alerts()
+	if len(got) != 4 {
+		t.Fatalf("ring returned %d alerts, want capacity 4", len(got))
+	}
+	// Oldest-first drain of the newest 4 (alerts 6..9).
+	for i, a := range got {
+		if want := start.Add(time.Duration(6+i) * time.Minute); !a.At.Equal(want) {
+			t.Fatalf("alert %d at %v, want %v (overwrite-oldest order)", i, a.At, want)
+		}
+	}
+	if d := c.DroppedAlerts(); d != 6 {
+		t.Fatalf("dropped counter %d, want 6", d)
+	}
+	// Drain resets the ring but not the drop counter.
+	if again := c.Alerts(); again != nil {
+		t.Fatalf("second drain returned %d alerts, want none", len(again))
+	}
+	if d := c.DroppedAlerts(); d != 6 {
+		t.Fatalf("dropped counter moved to %d after drain", d)
+	}
+}
+
+func TestFailureDayRetention(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FailureRetentionDays = 30
+	c := NewController(cfg, origin)
+	mkPing := func(day int, failed bool) trace.Sample {
+		return trace.Sample{
+			Time: radio.Epoch.Add(time.Duration(day)*24*time.Hour + 12*time.Hour),
+			Loc:  origin, Network: radio.NetB, Metric: trace.MetricRTTMs,
+			Value: 120, Failed: failed,
+		}
+	}
+	// A year of daily pings, all failing: only the trailing 30 days may
+	// survive, so both the observed-day count and the longest run cap at
+	// the retention horizon instead of growing without bound.
+	for d := 0; d < 365; d++ {
+		c.Ingest(mkPing(d, true))
+	}
+	observed, run := c.DaysWithPingFailures(c.ZoneOf(origin), radio.NetB)
+	if observed != 30 {
+		t.Fatalf("observed %d days, want the 30-day retention horizon", observed)
+	}
+	if run != 30 {
+		t.Fatalf("longest run %d, want 30", run)
 	}
 }

@@ -7,17 +7,18 @@ import (
 	"time"
 
 	"repro/internal/geo"
+	"repro/internal/sketch"
 )
 
 // Snapshot is a serializable view of a controller's published state: the
-// zone records applications query and each zone's current epoch. Histories
-// and in-progress epoch accumulators are deliberately excluded — they are
-// rebuilt from fresh samples after a restart, while the published records
-// keep serving queries immediately (a coordinator restart must not blind
-// every application). Snapshots are the checkpoint payload of the durable
-// store (internal/store), which pairs them with a write-ahead log of raw
-// samples so the accumulator state excluded here is reconstructed by
-// replaying the WAL tail on recovery.
+// zone records applications query, each zone's current epoch, and (in
+// full snapshots) the serialized trailing-window sketch, so recovery
+// restores each zone's whole retained distribution — quantiles, moments
+// and trend — not just the point estimate. In-progress epoch accumulators
+// are still excluded; they are reconstructed by replaying the durable
+// store's WAL tail on recovery, while the published records keep serving
+// queries immediately (a coordinator restart must not blind every
+// application).
 type Snapshot struct {
 	TakenAt time.Time       `json:"taken_at"`
 	Config  Config          `json:"config"`
@@ -25,16 +26,31 @@ type Snapshot struct {
 	Entries []SnapshotEntry `json:"entries"`
 }
 
-// SnapshotEntry is one zone statistic's persisted state.
+// SnapshotEntry is one zone statistic's persisted state. Sketch is the
+// internal/sketch binary serialization of the trailing-window EpochSketch
+// (base64 in JSON); it is omitted from View snapshots.
 type SnapshotEntry struct {
 	Key          Key     `json:"key"`
 	Record       *Record `json:"record,omitempty"`
 	EpochSeconds float64 `json:"epoch_seconds"`
 	TotalCount   int64   `json:"total_count"`
+	Sketch       []byte  `json:"sketch,omitempty"`
 }
 
-// Snapshot captures the controller's publishable state at an instant.
+// Snapshot captures the controller's publishable state at an instant,
+// including each zone's serialized window sketch (the checkpoint form).
 func (c *Controller) Snapshot(at time.Time) Snapshot {
+	return c.snapshot(at, true)
+}
+
+// View is Snapshot without the serialized sketches — the cheap form for
+// read-side consumers (ops handlers, dashboards) that only want records
+// and epochs and would otherwise pay sketch serialization per scrape.
+func (c *Controller) View(at time.Time) Snapshot {
+	return c.snapshot(at, false)
+}
+
+func (c *Controller) snapshot(at time.Time, withSketches bool) Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	s := Snapshot{
@@ -48,6 +64,9 @@ func (c *Controller) Snapshot(at time.Time) Snapshot {
 		if st.hasRecord {
 			rec := st.published
 			e.Record = &rec
+		}
+		if withSketches && st.window.Count() > 0 {
+			e.Sketch = st.window.MarshalBinary()
 		}
 		s.Entries = append(s.Entries, e)
 	}
@@ -76,25 +95,30 @@ func sortEntries(es []SnapshotEntry) {
 }
 
 // Restore rebuilds a controller from a snapshot: published records and
-// epochs are restored so estimate queries work immediately; sample
-// histories start empty and refill from live traffic.
+// epochs are restored so estimate queries work immediately; window
+// sketches are deserialized so the NKLD/Allan analyses resume with their
+// accumulated distributions (a zone whose sketch is absent or corrupt
+// starts fresh and refills from live traffic).
 func Restore(s Snapshot) *Controller {
 	c := NewController(s.Config, s.Origin)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, e := range s.Entries {
-		st := &zoneState{
-			epoch:       time.Duration(e.EpochSeconds * float64(time.Second)),
-			epochValid:  true,
-			curEpochIdx: -1,
-			totalCount:  e.TotalCount,
-		}
+		st := c.newZoneState()
+		st.epoch = time.Duration(e.EpochSeconds * float64(time.Second))
+		st.epochValid = true
+		st.totalCount = e.TotalCount
 		if st.epoch <= 0 {
 			st.epoch = s.Config.DefaultEpoch
 		}
 		if e.Record != nil {
 			st.published = *e.Record
 			st.hasRecord = true
+		}
+		if len(e.Sketch) > 0 {
+			if w, err := sketch.UnmarshalEpochSketch(e.Sketch); err == nil {
+				st.window = w
+			}
 		}
 		c.zones[e.Key] = st
 	}

@@ -69,6 +69,30 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		if restored.SampleCount(e.Key) != e.TotalCount {
 			t.Fatal("total count lost")
 		}
+		// The window sketch survives byte-exactly: the restored
+		// controller's long-term distribution is the one checkpointed,
+		// not a fresh accumulator.
+		if len(e.Sketch) == 0 {
+			t.Fatalf("snapshot entry %v carries no sketch", e.Key)
+		}
+		want, ok := c.SketchFor(e.Key)
+		if !ok {
+			t.Fatalf("source controller has no sketch for %v", e.Key)
+		}
+		got, ok := restored.SketchFor(e.Key)
+		if !ok {
+			t.Fatalf("restored controller has no sketch for %v", e.Key)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("window sketch drifted across snapshot round-trip for %v", e.Key)
+		}
+		for _, q := range []float64{0.5, 0.9} {
+			a, okA := c.WindowQuantile(e.Key, q)
+			b, okB := restored.WindowQuantile(e.Key, q)
+			if !okA || !okB || a != b {
+				t.Fatalf("q=%v drifted across restore: %v (%v) vs %v (%v)", q, a, okA, b, okB)
+			}
+		}
 	}
 }
 

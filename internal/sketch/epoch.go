@@ -1,0 +1,140 @@
+package sketch
+
+import (
+	"time"
+
+	"repro/internal/stats"
+)
+
+// EpochSketch is the per-(zone, network, metric) estimator state: a
+// quantile digest for the distribution, a Welford accumulator for exact
+// first and second moments, and an optional telescoping trend ring for
+// temporal structure. It replaces the unbounded raw-sample history the
+// controller used to keep — everything downstream (NKLD sample sizing,
+// Allan epoch derivation, 2σ change detection, gateway fan-out merges,
+// checkpoints) reads from this instead.
+type EpochSketch struct {
+	dig   *Digest
+	acc   stats.Accum
+	trend *Trend
+}
+
+// NewEpochSketch returns an empty sketch with the given digest
+// compression and no trend ring.
+func NewEpochSketch(compression float64) *EpochSketch {
+	return &EpochSketch{dig: NewDigest(compression)}
+}
+
+// EnableTrend attaches a trend ring of nslots bins starting at width base.
+// Call once, before observing.
+func (e *EpochSketch) EnableTrend(nslots int, base time.Duration) {
+	e.trend = NewTrend(nslots, base)
+}
+
+// HasTrend reports whether a trend ring is attached.
+func (e *EpochSketch) HasTrend() bool { return e.trend != nil }
+
+// Observe folds one timestamped sample into the digest, the moments and
+// (when attached) the trend ring.
+func (e *EpochSketch) Observe(at time.Time, v float64) {
+	e.dig.Add(v)
+	e.acc.Add(v)
+	if e.trend != nil {
+		e.trend.Observe(at, v)
+	}
+}
+
+// Add folds an untimed sample (digest and moments only).
+func (e *EpochSketch) Add(v float64) {
+	e.dig.Add(v)
+	e.acc.Add(v)
+}
+
+// Merge folds another sketch into e: digests merge by centroid, moments by
+// parallel Welford merge, trends by slot re-observation. o is unmodified.
+func (e *EpochSketch) Merge(o *EpochSketch) {
+	if o == nil {
+		return
+	}
+	e.dig.Merge(o.dig)
+	acc := o.acc
+	e.acc.Merge(&acc)
+	if e.trend != nil && o.trend != nil {
+		e.trend.Merge(o.trend)
+	}
+}
+
+// Decay scales the digest's and accumulator's retained weight by f in
+// (0, 1]. The trend ring is time-anchored and unaffected.
+func (e *EpochSketch) Decay(f float64) {
+	e.dig.Scale(f)
+	e.acc.Scale(f)
+}
+
+// Reset empties the sketch in place, keeping allocations. A trend ring is
+// restored to width base (ignored when no ring is attached or base <= 0).
+func (e *EpochSketch) Reset(base time.Duration) {
+	e.dig.Reset()
+	e.acc.Reset()
+	if e.trend != nil {
+		e.trend.Reset(base)
+	}
+}
+
+// Count returns the exact number of samples folded in (not subject to
+// decay rounding beyond Accum.Scale's integer truncation).
+func (e *EpochSketch) Count() int64 { return e.acc.Count() }
+
+// Weight returns the digest's retained (possibly decayed) weight.
+func (e *EpochSketch) Weight() float64 { return e.dig.Count() }
+
+// Mean returns the exact running mean.
+func (e *EpochSketch) Mean() float64 { return e.acc.Mean() }
+
+// StdDev returns the exact sample standard deviation.
+func (e *EpochSketch) StdDev() float64 { return e.acc.StdDev() }
+
+// Min returns the smallest sample seen.
+func (e *EpochSketch) Min() float64 { return e.acc.Min() }
+
+// Max returns the largest sample seen.
+func (e *EpochSketch) Max() float64 { return e.acc.Max() }
+
+// Accum returns a copy of the moment accumulator.
+func (e *EpochSketch) Accum() stats.Accum { return e.acc }
+
+// Quantile returns the approximate value at quantile q.
+func (e *EpochSketch) Quantile(q float64) float64 { return e.dig.Quantile(q) }
+
+// Rank returns the approximate CDF at x.
+func (e *EpochSketch) Rank(x float64) float64 { return e.dig.Rank(x) }
+
+// Samples reconstructs m quantile-spaced representative values.
+func (e *EpochSketch) Samples(m int) []float64 { return e.dig.Samples(m) }
+
+// Digest exposes the underlying digest (read-only use expected).
+func (e *EpochSketch) Digest() *Digest { return e.dig }
+
+// TrendSeries returns the regularized temporal mean series and its period,
+// or (nil, 0) when no trend ring is attached or it is empty.
+func (e *EpochSketch) TrendSeries() ([]float64, time.Duration) {
+	if e.trend == nil {
+		return nil, 0
+	}
+	s := e.trend.Series()
+	if s == nil {
+		return nil, 0
+	}
+	return s, e.trend.Period()
+}
+
+// FootprintBytes returns the sketch's fixed memory footprint: digest plus
+// accumulator plus trend ring. Constant regardless of sample count.
+func (e *EpochSketch) FootprintBytes() int {
+	const accumBytes = 40                         // five float64/int64 fields
+	n := e.dig.FootprintBytes() + accumBytes + 16 // struct + pointers
+	if e.trend != nil {
+		n += e.trend.FootprintBytes()
+	}
+	return n
+}

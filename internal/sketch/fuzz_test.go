@@ -1,0 +1,88 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// valuesFrom reinterprets fuzz input as a float64 sample stream (8 bytes
+// per value, little-endian), capped so one input cannot stall the fuzzer.
+func valuesFrom(data []byte) []float64 {
+	const maxVals = 4096
+	n := len(data) / 8
+	if n > maxVals {
+		n = maxVals
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:])))
+	}
+	return out
+}
+
+// FuzzSketchRoundTrip drives the digest with arbitrary sample streams and
+// pins the serialization invariants: MarshalBinary → UnmarshalDigest never
+// fails on self-produced bytes, every quantile survives the round-trip
+// exactly, the reconstruction re-serializes byte-identically (canonical
+// form), and feeding the raw fuzz input to the deserializers never panics.
+func FuzzSketchRoundTrip(f *testing.F) {
+	// Seed corpus: value streams covering the shapes that matter (uniform
+	// ramp, constant, tiny, huge spread, non-finite poison) plus one
+	// well-formed serialized digest so the mutator explores the decoder.
+	ramp := make([]byte, 0, 400*8)
+	for i := 0; i < 400; i++ {
+		ramp = binary.LittleEndian.AppendUint64(ramp, math.Float64bits(float64(i)))
+	}
+	f.Add(ramp)
+	constant := make([]byte, 0, 64*8)
+	for i := 0; i < 64; i++ {
+		constant = binary.LittleEndian.AppendUint64(constant, math.Float64bits(42.5))
+	}
+	f.Add(constant)
+	f.Add([]byte{})
+	f.Add(binary.LittleEndian.AppendUint64(nil, math.Float64bits(math.NaN())))
+	f.Add(binary.LittleEndian.AppendUint64(
+		binary.LittleEndian.AppendUint64(nil, math.Float64bits(-1e300)),
+		math.Float64bits(1e300)))
+	seedDigest := NewDigest(minCompression)
+	for i := 0; i < 100; i++ {
+		seedDigest.Add(float64(i * i))
+	}
+	f.Add(seedDigest.MarshalBinary())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Arbitrary bytes through the deserializers: errors fine, panics not.
+		if d, err := UnmarshalDigest(data); err == nil {
+			// Accepted bytes must round-trip to the same canonical form.
+			if !bytes.Equal(d.MarshalBinary(), data) {
+				t.Fatal("accepted digest bytes are not canonical")
+			}
+		}
+		_, _ = UnmarshalEpochSketch(data)
+
+		// Same bytes as a sample stream: build → serialize → deserialize →
+		// quantiles equal.
+		d := NewDigest(DefaultCompression)
+		for _, v := range valuesFrom(data) {
+			d.Add(v)
+		}
+		b1 := d.MarshalBinary()
+		got, err := UnmarshalDigest(b1)
+		if err != nil {
+			t.Fatalf("self-produced digest bytes rejected: %v", err)
+		}
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+			if a, b := d.Quantile(q), got.Quantile(q); a != b && !(math.IsNaN(a) && math.IsNaN(b)) {
+				t.Fatalf("quantile %v changed across round-trip: %v vs %v", q, a, b)
+			}
+		}
+		if got.Count() != d.Count() {
+			t.Fatalf("count changed across round-trip: %v vs %v", got.Count(), d.Count())
+		}
+		if b2 := got.MarshalBinary(); !bytes.Equal(b1, b2) {
+			t.Fatal("round-tripped digest serializes to different bytes")
+		}
+	})
+}

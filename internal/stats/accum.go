@@ -106,3 +106,48 @@ func (a *Accum) Merge(b *Accum) {
 
 // Reset returns the accumulator to its empty state.
 func (a *Accum) Reset() { *a = Accum{} }
+
+// Scale decays the accumulator's weight by f in (0, 1]: the count and the
+// sum of squared deviations shrink proportionally while the mean, min and
+// max are preserved. This is the accumulator half of the sketch-window
+// decay that replaces dropping the oldest half of a raw sample buffer.
+func (a *Accum) Scale(f float64) {
+	if f <= 0 || f > 1 || math.IsNaN(f) || a.n == 0 {
+		return
+	}
+	n := int64(float64(a.n) * f)
+	if n < 1 {
+		n = 1
+	}
+	a.m2 *= float64(n) / float64(a.n)
+	a.n = n
+}
+
+// AccumState is the exported snapshot of an accumulator, the unit that
+// sketch serialization and checkpoints persist.
+type AccumState struct {
+	N    int64
+	Mean float64
+	M2   float64
+	Min  float64
+	Max  float64
+}
+
+// State snapshots the accumulator.
+func (a *Accum) State() AccumState {
+	return AccumState{N: a.n, Mean: a.mean, M2: a.m2, Min: a.min, Max: a.max}
+}
+
+// AccumFromState rebuilds an accumulator from a snapshot. Non-finite or
+// negative-count states yield an empty accumulator rather than a poisoned
+// one.
+func AccumFromState(s AccumState) Accum {
+	if s.N <= 0 || s.M2 < 0 ||
+		math.IsNaN(s.Mean) || math.IsInf(s.Mean, 0) ||
+		math.IsNaN(s.M2) || math.IsInf(s.M2, 0) ||
+		math.IsNaN(s.Min) || math.IsInf(s.Min, 0) ||
+		math.IsNaN(s.Max) || math.IsInf(s.Max, 0) {
+		return Accum{}
+	}
+	return Accum{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max}
+}

@@ -100,10 +100,15 @@ type EstimateRequest struct {
 	Metric  trace.Metric    `json:"metric"`
 }
 
-// EstimateReply returns the record, if any.
+// EstimateReply returns the record, if any. Sketch optionally carries the
+// zone's serialized trailing-window sketch (internal/sketch binary form,
+// base64 in JSON): the cluster gateway merges these digests across shards
+// instead of averaging point estimates, so fan-out queries preserve the
+// full distribution.
 type EstimateReply struct {
 	Found  bool        `json:"found"`
 	Record core.Record `json:"record"`
+	Sketch []byte      `json:"sketch,omitempty"`
 }
 
 // ZoneListRequest asks for every published record of one network/metric —

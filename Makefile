@@ -3,7 +3,7 @@
 # detector (the store/coordinator shutdown paths are race-sensitive).
 GO ?= go
 
-.PHONY: all vet lint lint-baseline lint-sarif build test race ci bench bench-ingest bench-gateway bench-sketch swarm-smoke fuzz
+.PHONY: all vet lint lint-baseline lint-sarif build test race ci bench bench-ingest bench-gateway bench-sketch swarm-smoke failover-smoke fuzz
 
 all: vet lint build test
 
@@ -69,3 +69,11 @@ bench-sketch:
 swarm-smoke:
 	$(GO) build ./cmd/wiscape-gateway ./cmd/wiscape-swarm
 	$(GO) test -race -count=1 ./internal/cluster/...
+
+# Failover smoke: the replication subsystem's unit suite plus the
+# kill/promote/rejoin integration proofs (acked-sample preservation, swarm
+# chaos hook, degraded readiness), all under the race detector.
+failover-smoke:
+	$(GO) build ./cmd/wiscape-coordinator ./cmd/wiscape-gateway ./cmd/wiscape-swarm
+	$(GO) test -race -count=1 ./internal/replication/
+	$(GO) test -race -count=1 -run 'TestFailover|TestSwarmChaos|TestReadyz' ./internal/cluster/

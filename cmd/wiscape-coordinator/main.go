@@ -18,6 +18,12 @@
 //	                    [-data DIR] [-checkpoint-interval 1m]
 //	                    [-fsync off|always|every=N|interval=DUR]
 //	                    [-ops-addr 127.0.0.1:9090] [-idle-timeout 2m]
+//	                    [-replication-addr HOST:PORT] [-replicate-from HOST:PORT]
+//	                    [-sync-replication] [-force-resync] [-admin]
+//
+// With -replication-addr the coordinator streams its WAL to attached
+// replicas; with -replicate-from it starts as a read-only replica tailing
+// the named primary, promotable at runtime by the cluster gateway.
 package main
 
 import (
@@ -44,6 +50,13 @@ func main() {
 	fsyncMode := flag.String("fsync", "off", "WAL fsync policy: off | always | every=N | interval=DUR")
 	opsAddr := flag.String("ops-addr", "", "ops HTTP plane address (/metrics, /healthz, /readyz, pprof, /api/v1/zones); empty disables")
 	snapshotPath := flag.String("snapshot", "", "legacy single-file snapshot persistence (superseded by -data)")
+	serverID := flag.String("server-id", "wiscape-coordinator", "node name in status replies and replication handshakes")
+	replAddr := flag.String("replication-addr", "", "WAL replication listener address (requires -data); empty disables replication")
+	replFrom := flag.String("replicate-from", "", "start as a replica tailing this primary replication address")
+	forceResync := flag.Bool("force-resync", false, "with -replicate-from: discard local state and bootstrap from a fresh primary snapshot")
+	syncRepl := flag.Bool("sync-replication", false, "withhold sample acks until a replica confirms the write (semi-synchronous)")
+	syncTimeout := flag.Duration("sync-timeout", 2*time.Second, "bound on the -sync-replication wait")
+	admin := flag.Bool("admin", false, "expose chaos admin endpoints (POST /api/v1/admin/{suspend,resume}) on the ops plane")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "coordinator: ", log.LstdFlags)
@@ -103,6 +116,13 @@ func main() {
 		CheckpointInterval: *ckptInterval,
 		Fsync:              fsync,
 		OpsAddr:            *opsAddr,
+		ServerID:           *serverID,
+		ReplicationAddr:    *replAddr,
+		ReplicateFrom:      *replFrom,
+		ForceResync:        *forceResync,
+		SyncReplication:    *syncRepl,
+		SyncTimeout:        *syncTimeout,
+		EnableAdmin:        *admin,
 		Logf:               coordinator.LogTo(logger),
 	})
 	if err != nil {
@@ -116,6 +136,9 @@ func main() {
 	}
 	if *opsAddr != "" {
 		logger.Printf("ops plane at http://%s (/metrics, /healthz, /readyz, /debug/pprof/, /api/v1/zones)", srv.OpsAddr())
+	}
+	if ra := srv.ReplicationAddr(); ra != "" {
+		logger.Printf("replication listener at %s (role %s)", ra, srv.Role())
 	}
 
 	// Drain alerts periodically until interrupted.

@@ -15,11 +15,22 @@
 // The -shard value is name=addr=minlat,minlon,maxlat,maxlon. Two presets
 // cover the paper's study areas: -shard 'madison=ADDR' and
 // -shard 'new-jersey=ADDR' fill in the Madison and New Brunswick boxes.
+// The addr field may be a |-separated endpoint list — primary first, then
+// WAL replicas started with -replicate-from:
+//
+//	-shard 'madison=127.0.0.1:7411|127.0.0.1:7421|127.0.0.1:7431'
+//
+// When the primary's circuit breaker opens, the gateway promotes the
+// freshest caught-up replica and rewrites its live route table; a rejoined
+// old primary is demoted and resynced from a fresh snapshot.
 //
 // With -ops-addr the gateway serves /metrics (per-shard routed, forwarded
-// and failed counters, route-latency histogram, healthy-shard gauge),
-// /healthz, /readyz (reflecting shard quorum), pprof, and the live route
-// table at /api/v1/shards.
+// and failed counters, promotion/demotion counters, routing-epoch gauge,
+// route-latency histogram, healthy-shard gauge), /healthz, /readyz
+// (reflecting shard quorum, degrading — not failing — when a region is
+// primary-less but replica-served), pprof, the live route table at
+// /api/v1/shards, and the planned-failover lever at
+// POST /api/v1/shards/{name}/promote?endpoint=ADDR.
 package main
 
 import (
@@ -36,14 +47,15 @@ import (
 	"repro/internal/geo"
 )
 
-// parseShard parses name=addr[=minlat,minlon,maxlat,maxlon], applying the
-// paper-region presets when the box is omitted.
+// parseShard parses name=addr[|replica...][=minlat,minlon,maxlat,maxlon],
+// applying the paper-region presets when the box is omitted.
 func parseShard(v string) (cluster.ShardConfig, error) {
 	parts := strings.SplitN(v, "=", 3)
 	if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
-		return cluster.ShardConfig{}, fmt.Errorf("want name=addr[=minlat,minlon,maxlat,maxlon], got %q", v)
+		return cluster.ShardConfig{}, fmt.Errorf("want name=addr[|replica...][=minlat,minlon,maxlat,maxlon], got %q", v)
 	}
-	cfg := cluster.ShardConfig{Name: parts[0], Addr: parts[1]}
+	eps := strings.Split(parts[1], "|")
+	cfg := cluster.ShardConfig{Name: parts[0], Addr: eps[0], Replicas: eps[1:]}
 	if len(parts) == 3 {
 		fields := strings.Split(parts[2], ",")
 		if len(fields) != 4 {
@@ -120,8 +132,12 @@ func main() {
 		logger.Fatal(err)
 	}
 	for _, s := range reg.Shards() {
-		logger.Printf("shard %s -> %s box [%.2f,%.2f]..[%.2f,%.2f]",
-			s.Name(), s.Addr(), s.Box().MinLat, s.Box().MinLon, s.Box().MaxLat, s.Box().MaxLon)
+		extra := ""
+		if n := len(s.Endpoints()) - 1; n > 0 {
+			extra = fmt.Sprintf(" (+%d replicas)", n)
+		}
+		logger.Printf("shard %s -> %s%s box [%.2f,%.2f]..[%.2f,%.2f]",
+			s.Name(), s.Addr(), extra, s.Box().MinLat, s.Box().MinLon, s.Box().MaxLat, s.Box().MaxLon)
 	}
 	logger.Printf("routing for %d shards on %s", len(reg.Shards()), g.Addr())
 

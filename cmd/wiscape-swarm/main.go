@@ -18,6 +18,19 @@
 // regions must lie inside the shard bounding boxes — reports from
 // locations no shard covers are answered with errors and counted in
 // wiscape_gateway_unroutable_total.
+//
+// The chaos hook drives a failover drill under load: -kill-shard names the
+// ops-plane URL of a shard coordinator started with -admin, and -kill-after
+// is when (into the run) the swarm suspends it mid-ingest; -restart-after
+// resumes it that much later (0 leaves it down). Point the swarm at a
+// gateway fronting that shard's primary/replica pair, give the run a
+// -round-delay so it spans the kill window, and the report includes the
+// observed ingest gap — the wall-clock stretch with no sample acked
+// anywhere, covering kill, breaker trip, promotion and catch-up:
+//
+//	wiscape-swarm -addr 127.0.0.1:7410 -agents 200 -rounds 60 \
+//	  -round-delay 100ms -kill-shard http://127.0.0.1:9090 -kill-after 2s \
+//	  -restart-after 4s
 package main
 
 import (
@@ -57,6 +70,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	zoneRadius := flag.Float64("zone-radius", 250, "zone radius (match the target)")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline")
+	roundDelay := flag.Duration("round-delay", 0, "real-time pause between rounds (spread the run across a chaos window)")
+	killShard := flag.String("kill-shard", "", "ops-plane URL of a coordinator (started with -admin) to suspend mid-run")
+	killAfter := flag.Duration("kill-after", 2*time.Second, "when into the run -kill-shard fires")
+	restartAfter := flag.Duration("restart-after", 0, "resume the killed shard this long after the kill (0 leaves it down)")
 
 	var regions []geo.BoundingBox
 	flag.Func("region", "report-location box minlat,minlon,maxlat,maxlon (repeatable; default Madison)", func(v string) error {
@@ -79,6 +96,11 @@ func main() {
 		Seed:            *seed,
 		ZoneRadiusM:     *zoneRadius,
 		RequestTimeout:  *timeout,
+		RoundDelay:      *roundDelay,
+		KillTarget:      *killShard,
+		KillAfter:       *killAfter,
+		RestartAfter:    *restartAfter,
+		Logf:            func(format string, args ...any) { logger.Printf(format, args...) },
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -46,6 +46,7 @@ var serverPkgElems = map[string]bool{
 	"telemetry":   true,
 	"store":       true,
 	"agent":       true,
+	"replication": true,
 }
 
 // ServerDirective opts a package into goleak from its own source.

@@ -1,0 +1,417 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cluster/swarm"
+	"repro/internal/coordinator"
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/sketch"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// startReplicatedShard runs one durable coordinator with a replication
+// listener; a non-empty replicateFrom starts it as a replica of that
+// primary's replication address. admin additionally exposes the ops plane
+// with the chaos admin endpoints the swarm kill hook drives.
+func startReplicatedShard(t *testing.T, box geo.BoundingBox, serverID, replicateFrom string, admin bool) *coordinator.Server {
+	t.Helper()
+	ctrl := core.NewController(core.DefaultConfig(), box.Center())
+	opts := coordinator.Options{
+		Networks:        []radio.NetworkID{radio.NetB},
+		Metrics:         []trace.Metric{trace.MetricUDPKbps},
+		TaskInterval:    time.Minute,
+		Seed:            seed,
+		DataDir:         t.TempDir(),
+		ServerID:        serverID,
+		ReplicationAddr: "127.0.0.1:0",
+		ReplicateFrom:   replicateFrom,
+		SyncReplication: true,
+		SyncTimeout:     5 * time.Second,
+	}
+	if admin {
+		opts.OpsAddr = "127.0.0.1:0"
+		opts.EnableAdmin = true
+	}
+	s, err := coordinator.Serve(ctrl, "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+// totalSamples sums a controller's ingested sample counts across zones.
+func totalSamples(ctrl *core.Controller) int64 {
+	var n int64
+	for _, key := range ctrl.Keys() {
+		n += ctrl.SampleCount(key)
+	}
+	return n
+}
+
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// parkedTrack keeps the agent at one point for the whole campaign.
+type parkedTrack struct{ at geo.Point }
+
+func (tr parkedTrack) Pose(time.Time) mobility.Pose {
+	return mobility.Pose{Loc: tr.at, Active: true}
+}
+
+// assertStateEquivalent checks that two controllers hold the same acked
+// history: identical zone keys and per-zone sample counts, exactly matching
+// means, and window quantiles within the sketch's rank-error tolerance.
+func assertStateEquivalent(t *testing.T, want, got core.Snapshot) {
+	t.Helper()
+	if len(want.Entries) == 0 || len(want.Entries) != len(got.Entries) {
+		t.Fatalf("entry counts differ: want %d, got %d", len(want.Entries), len(got.Entries))
+	}
+	for i, we := range want.Entries {
+		ge := got.Entries[i]
+		if we.Key != ge.Key {
+			t.Fatalf("entry %d: key %v vs %v", i, we.Key, ge.Key)
+		}
+		if we.TotalCount != ge.TotalCount {
+			t.Fatalf("key %v: total count %d vs %d", we.Key, we.TotalCount, ge.TotalCount)
+		}
+		if len(we.Sketch) == 0 {
+			continue
+		}
+		ws, err := sketch.UnmarshalEpochSketch(we.Sketch)
+		if err != nil {
+			t.Fatalf("key %v: primary sketch: %v", we.Key, err)
+		}
+		gs, err := sketch.UnmarshalEpochSketch(ge.Sketch)
+		if err != nil {
+			t.Fatalf("key %v: replica sketch: %v", we.Key, err)
+		}
+		if ws.Count() != gs.Count() {
+			t.Fatalf("key %v: sketch counts %d vs %d", we.Key, ws.Count(), gs.Count())
+		}
+		if d := math.Abs(ws.Mean() - gs.Mean()); d > 1e-9*(1+math.Abs(ws.Mean())) {
+			t.Fatalf("key %v: means %v vs %v", we.Key, ws.Mean(), gs.Mean())
+		}
+		// The replica applied the identical sample sequence, so quantiles
+		// should agree to within the digest's rank tolerance; with identical
+		// inserts they are in practice bit-equal, so a tight relative bound
+		// still leaves room for float noise only.
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			wq, gq := ws.Quantile(q), gs.Quantile(q)
+			if d := math.Abs(wq - gq); d > 1e-6*(1+math.Abs(wq)) {
+				t.Fatalf("key %v: q%.2f %v vs %v", we.Key, q, wq, gq)
+			}
+		}
+	}
+}
+
+// TestFailoverPreservesAckedSamples is the tentpole acceptance proof: a
+// primary/replica Madison shard behind the gateway loses its primary
+// mid-campaign; the gateway's breaker-driven failover promotes the replica
+// within the breaker window, the unmodified agent campaign rides across the
+// kill, and at the end the promoted shard holds every acked sample exactly
+// once — then the old primary rejoins, is demoted by the reconcile sweep,
+// and resyncs to the same state from a fresh snapshot.
+func TestFailoverPreservesAckedSamples(t *testing.T) {
+	primary := startReplicatedShard(t, geo.Madison(), "mad-a", "", false)
+	replica := startReplicatedShard(t, geo.Madison(), "mad-b", primary.ReplicationAddr(), false)
+
+	registry, err := NewRegistry([]ShardConfig{{
+		Name:     "madison",
+		Addr:     primary.Addr(),
+		Replicas: []string{replica.Addr()},
+		Box:      geo.Madison(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	gw, err := ServeGateway(registry, "127.0.0.1:0", GatewayOptions{
+		TaskInterval:     time.Minute,
+		DialTimeout:      500 * time.Millisecond,
+		RequestTimeout:   2 * time.Second,
+		FailureThreshold: 1,
+		BreakCooldown:    200 * time.Millisecond,
+		RecheckInterval:  50 * time.Millisecond,
+		Telemetry:        reg,
+		OpsAddr:          "127.0.0.1:0",
+		Seed:             seed,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = gw.Close() })
+	sh := registry.Shards()[0]
+
+	env := radio.NewEnvironment([]radio.NetworkID{radio.NetB}, radio.RegionWI, seed, geo.Madison().Center())
+	newAgent := func() *agent.Agent {
+		return &agent.Agent{
+			ID:          "failover-rider",
+			DeviceClass: "laptop",
+			Track:       parkedTrack{at: geo.MadisonStaticSites()[0]},
+			Env:         env,
+			Networks:    []radio.NetworkID{radio.NetB},
+			Seed:        seed,
+			Grid:        geo.GridForZoneRadius(geo.Madison().Center(), 250),
+		}
+	}
+
+	// Phase 1: campaign against the healthy pair. Semi-sync replication
+	// means every ack implies the replica already applied the write.
+	st1, err := newAgent().RunResilient(gw.Addr(), start, 40*time.Minute, time.Minute, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.SamplesSent == 0 {
+		t.Fatal("phase 1 acked no samples")
+	}
+	if got := totalSamples(primary.Controller()); got != int64(st1.SamplesSent) {
+		t.Fatalf("primary holds %d samples, agent acked %d", got, st1.SamplesSent)
+	}
+
+	// Pre-kill equivalence: the replica's controller is byte-for-byte the
+	// primary's acked history (exact counts and means, quantiles within
+	// rank tolerance).
+	at := start.Add(40 * time.Minute)
+	assertStateEquivalent(t, primary.Controller().Snapshot(at), replica.Controller().Snapshot(at))
+
+	// Kill the primary mid-campaign (listener severed, process state kept —
+	// the coordinator-side chaos hook the swarm -kill-shard flag drives).
+	primary.Suspend()
+
+	// Phase 2: the same unmodified campaign continues against the gateway.
+	// Its first reports trip the breaker; the open edge kicks promotion;
+	// retries land on the promoted replica.
+	st2, err := newAgent().RunResilient(gw.Addr(), at, 40*time.Minute, time.Minute, 100)
+	if err != nil {
+		t.Fatalf("campaign did not survive the failover: %v", err)
+	}
+	if st2.SamplesSent == 0 {
+		t.Fatal("phase 2 acked no samples")
+	}
+
+	if got, want := sh.Addr(), replica.Addr(); got != want {
+		t.Fatalf("route table points at %s, want promoted replica %s", got, want)
+	}
+	if sh.Epoch() == 0 {
+		t.Fatal("routing epoch did not advance")
+	}
+	waitUntil(t, 5*time.Second, "replica promotion", func() bool {
+		return replica.Role() == wire.RolePrimary
+	})
+
+	// No acked sample lost, none duplicated: the promoted shard holds
+	// exactly the union of both phases' acks.
+	acked := int64(st1.SamplesSent + st2.SamplesSent)
+	if got := totalSamples(replica.Controller()); got != acked {
+		t.Fatalf("promoted shard holds %d samples, campaign acked %d", got, acked)
+	}
+	if p := counterValue(reg, "wiscape_gateway_promotions_total", "madison"); p == 0 {
+		t.Fatal("promotion counter did not move")
+	}
+
+	// Rejoin: the old primary comes back at its old address still thinking
+	// it is a primary at epoch 0; the gateway's reconcile sweep demotes it
+	// and it resyncs from the new primary's snapshot.
+	if err := primary.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 10*time.Second, "rejoined primary demotion", func() bool {
+		return primary.Role() == wire.RoleReplica
+	})
+	waitUntil(t, 10*time.Second, "rejoined replica resync", func() bool {
+		return totalSamples(primary.Controller()) == acked
+	})
+	assertStateEquivalent(t, replica.Controller().Snapshot(at), primary.Controller().Snapshot(at))
+
+	// The live route table reports the new topology.
+	resp, err := http.Get("http://" + gw.OpsAddr() + "/api/v1/shards")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var table struct {
+		Shards []struct {
+			Name      string `json:"name"`
+			Addr      string `json:"addr"`
+			Epoch     uint64 `json:"routing_epoch"`
+			Breaker   string `json:"breaker"`
+			Endpoints []struct {
+				Addr   string `json:"addr"`
+				Active bool   `json:"active"`
+				Role   string `json:"role"`
+			} `json:"endpoints"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&table); err != nil {
+		t.Fatal(err)
+	}
+	row := table.Shards[0]
+	if row.Addr != replica.Addr() || row.Epoch == 0 || row.Breaker != "closed" {
+		t.Fatalf("route table row: %+v", row)
+	}
+	roles := map[string]string{}
+	for _, ep := range row.Endpoints {
+		roles[ep.Addr] = ep.Role
+		if ep.Active != (ep.Addr == replica.Addr()) {
+			t.Fatalf("endpoint %s active=%v", ep.Addr, ep.Active)
+		}
+	}
+	if roles[replica.Addr()] != wire.RolePrimary || roles[primary.Addr()] != wire.RoleReplica {
+		t.Fatalf("endpoint roles: %v", roles)
+	}
+}
+
+// counterValue reads a per-shard counter from reg without a testCluster.
+func counterValue(reg *telemetry.Registry, name, shard string) float64 {
+	return reg.Counter(name, "", "shard").With(shard).Value()
+}
+
+// TestSwarmChaosKillReportsIngestGap drives the swarm chaos hook end to
+// end: a swarm hammers a gateway fronting a primary/replica pair while the
+// hook suspends the primary mid-ingest via its chaos admin endpoint. The
+// gateway promotes the replica, every agent survives (shard outages are
+// error replies, not transport failures), and the report carries the
+// observed ingest gap.
+func TestSwarmChaosKillReportsIngestGap(t *testing.T) {
+	primary := startReplicatedShard(t, geo.Madison(), "mad-a", "", true)
+	replica := startReplicatedShard(t, geo.Madison(), "mad-b", primary.ReplicationAddr(), false)
+
+	registry, err := NewRegistry([]ShardConfig{{
+		Name:     "madison",
+		Addr:     primary.Addr(),
+		Replicas: []string{replica.Addr()},
+		Box:      geo.Madison(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := ServeGateway(registry, "127.0.0.1:0", GatewayOptions{
+		TaskInterval:     time.Minute,
+		DialTimeout:      500 * time.Millisecond,
+		RequestTimeout:   2 * time.Second,
+		FailureThreshold: 1,
+		BreakCooldown:    100 * time.Millisecond,
+		RecheckInterval:  50 * time.Millisecond,
+		Seed:             seed,
+		Logf:             t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = gw.Close() })
+
+	res, err := swarm.Run(gw.Addr(), swarm.Options{
+		Agents:          8,
+		Rounds:          40,
+		SamplesPerRound: 2,
+		RoundDelay:      25 * time.Millisecond,
+		Seed:            seed,
+		RequestTimeout:  2 * time.Second,
+		KillTarget:      "http://" + primary.OpsAddr(),
+		KillAfter:       300 * time.Millisecond,
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KillAt == 0 {
+		t.Fatal("chaos hook never fired")
+	}
+	if res.AgentsCompleted != res.Agents {
+		t.Fatalf("%d/%d agents survived the kill", res.AgentsCompleted, res.Agents)
+	}
+	if res.SamplesAccepted == 0 {
+		t.Fatal("no samples accepted across the chaos run")
+	}
+	// res.Failures may legitimately be zero: the gateway's in-request retry
+	// can complete the promotion between the failed attempt and the redial,
+	// making the kill invisible to agents. The promotion itself is the
+	// proof the kill landed.
+	if res.MaxIngestGap <= 0 {
+		t.Fatalf("ingest gap %v, want > 0", res.MaxIngestGap)
+	}
+	waitUntil(t, 5*time.Second, "replica promotion", func() bool {
+		return replica.Role() == wire.RolePrimary
+	})
+	if sh := registry.Shards()[0]; sh.Addr() != replica.Addr() || sh.Epoch() == 0 {
+		t.Fatalf("route not rewritten: addr %s epoch %d", sh.Addr(), sh.Epoch())
+	}
+}
+
+// TestReadyzDegradesWhenReplicaServed checks the readiness semantics: a
+// shard whose primary is down but whose standby answered the last poll
+// keeps /readyz at 200 with a "degraded" detail; with no standby either,
+// the gateway goes unready.
+func TestReadyzDegradesWhenReplicaServed(t *testing.T) {
+	registry, err := NewRegistry([]ShardConfig{{
+		Name:     "madison",
+		Addr:     "127.0.0.1:1",
+		Replicas: []string{"127.0.0.1:2"},
+		Box:      geo.Madison(),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := ServeGateway(registry, "127.0.0.1:0", GatewayOptions{
+		RecheckInterval: -1, // no background probes: the test drives state
+		OpsAddr:         "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = gw.Close() })
+	sh := registry.Shards()[0]
+
+	readyz := func() (int, string) {
+		resp, err := http.Get("http://" + gw.OpsAddr() + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := readyz(); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("healthy readyz = %d %q", code, body)
+	}
+
+	// Primary dead, no standby known: unready.
+	if opened := sh.recordFailure(time.Now(), 1, time.Hour); !opened {
+		t.Fatal("breaker did not open")
+	}
+	if code, _ := readyz(); code != http.StatusServiceUnavailable {
+		t.Fatalf("primary-less readyz = %d, want 503", code)
+	}
+
+	// A standby answered the last poll: degraded but ready.
+	sh.setStandbyUp(true)
+	code, body := readyz()
+	if code != http.StatusOK || !strings.Contains(body, "degraded") || !strings.Contains(body, "madison") {
+		t.Fatalf("replica-served readyz = %d %q, want 200 with degraded detail", code, body)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -163,7 +164,7 @@ func ServeGateway(reg *Registry, addr string, opts GatewayOptions) (*Gateway, er
 	if opts.OpsAddr != "" {
 		ops, err := telemetry.NewOpsServer(opts.OpsAddr, telemetry.OpsOptions{
 			Registry: opts.Telemetry,
-			Ready:    g.ready,
+			Status:   g.readyStatus,
 			Logf:     opts.Logf,
 		})
 		if err != nil {
@@ -172,6 +173,7 @@ func ServeGateway(reg *Registry, addr string, opts GatewayOptions) (*Gateway, er
 		}
 		g.ops = ops
 		ops.HandleFunc("GET /api/v1/shards", g.serveShards)
+		ops.HandleFunc("POST /api/v1/shards/{shard}/promote", g.servePromote)
 		opts.Logf("gateway: ops plane listening on %s", ops.Addr())
 	}
 	g.wg.Add(1)
@@ -192,32 +194,125 @@ func (g *Gateway) OpsAddr() string { return g.ops.Addr() }
 // Registry returns the gateway's shard registry.
 func (g *Gateway) Registry() *Registry { return g.reg }
 
-// ready backs /readyz: listening, not closing, and at least ReadyQuorum
-// shards healthy — a gateway that lost its regions is up but not ready.
-func (g *Gateway) ready() bool {
+// readyStatus backs /readyz: listening, not closing, and at least
+// ReadyQuorum shards serving. A shard counts toward quorum when its breaker
+// is closed, or — degraded — when its primary is down but a standby
+// answered the last status poll and promotion is imminent; the detail names
+// those regions so probes can tell "ok" from "degraded but serving".
+func (g *Gateway) readyStatus() (bool, string) {
 	g.mu.Lock()
 	closed := g.closed
 	g.mu.Unlock()
-	return !closed && g.reg.HealthyCount() >= g.opts.ReadyQuorum
+	if closed {
+		return false, "shutting down"
+	}
+	healthy := 0
+	var degraded []string
+	for _, s := range g.reg.Shards() {
+		switch {
+		case s.Healthy():
+			healthy++
+		case s.StandbyUp():
+			degraded = append(degraded, s.Name())
+		}
+	}
+	if healthy >= g.opts.ReadyQuorum {
+		return true, "ok"
+	}
+	if healthy+len(degraded) >= g.opts.ReadyQuorum {
+		return true, fmt.Sprintf("degraded: primary-less but replica-served: %s", strings.Join(degraded, ", "))
+	}
+	return false, fmt.Sprintf("not ready: %d/%d shards serving (quorum %d)",
+		healthy+len(degraded), len(g.reg.Shards()), g.opts.ReadyQuorum)
 }
 
-// serveShards backs GET /api/v1/shards: the live per-shard route table.
+// serveShards backs GET /api/v1/shards: the live per-shard route table,
+// enriched with each endpoint's replication status (role, lag, LSNs) from a
+// live poll bounded by the gateway's request timeout.
 func (g *Gateway) serveShards(w http.ResponseWriter, r *http.Request) {
+	type endpointRow struct {
+		Addr       string `json:"addr"`
+		Active     bool   `json:"active"`
+		Reachable  bool   `json:"reachable"`
+		Role       string `json:"role,omitempty"`
+		ServerID   string `json:"server_id,omitempty"`
+		Epoch      uint64 `json:"epoch,omitempty"`
+		LastLSN    uint64 `json:"last_lsn,omitempty"`
+		AppliedLSN uint64 `json:"applied_lsn,omitempty"`
+		Lag        uint64 `json:"replication_lag,omitempty"`
+	}
 	type row struct {
-		Name    string          `json:"name"`
-		Addr    string          `json:"addr"`
-		Box     geo.BoundingBox `json:"box"`
-		Healthy bool            `json:"healthy"`
+		Name      string          `json:"name"`
+		Addr      string          `json:"addr"`
+		Box       geo.BoundingBox `json:"box"`
+		Healthy   bool            `json:"healthy"`
+		Breaker   string          `json:"breaker"`
+		Epoch     uint64          `json:"routing_epoch"`
+		StandbyUp bool            `json:"standby_up"`
+		Endpoints []endpointRow   `json:"endpoints"`
 	}
 	rows := make([]row, 0, len(g.reg.Shards()))
 	for _, s := range g.reg.Shards() {
-		rows = append(rows, row{Name: s.Name(), Addr: s.Addr(), Box: s.Box(), Healthy: s.Healthy()})
+		active := s.Addr()
+		eps := make([]endpointRow, 0, len(s.Endpoints()))
+		for _, ep := range s.Endpoints() {
+			er := endpointRow{Addr: ep, Active: ep == active}
+			if st, err := g.queryStatus(ep); err == nil {
+				er.Reachable = true
+				er.Role = st.Role
+				er.ServerID = st.ServerID
+				er.Epoch = st.Epoch
+				er.LastLSN = st.LastLSN
+				er.AppliedLSN = st.AppliedLSN
+				er.Lag = st.LagRecords
+			}
+			eps = append(eps, er)
+		}
+		rows = append(rows, row{
+			Name:      s.Name(),
+			Addr:      active,
+			Box:       s.Box(),
+			Healthy:   s.Healthy(),
+			Breaker:   s.BreakerState(),
+			Epoch:     s.Epoch(),
+			StandbyUp: s.StandbyUp(),
+			Endpoints: eps,
+		})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]any{
 		"gateway": g.opts.Name,
 		"quorum":  g.opts.ReadyQuorum,
 		"shards":  rows,
+	})
+}
+
+// servePromote backs POST /api/v1/shards/{shard}/promote?endpoint=ADDR: the
+// operator's planned-failover lever, mutating the live route table through
+// the same epoch-guarded path breaker-driven promotion uses.
+func (g *Gateway) servePromote(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("shard")
+	endpoint := r.URL.Query().Get("endpoint")
+	if endpoint == "" {
+		http.Error(w, "missing ?endpoint=HOST:PORT", http.StatusBadRequest)
+		return
+	}
+	if err := g.PromoteShard(name, endpoint); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	var sh *Shard
+	for _, s := range g.reg.Shards() {
+		if s.Name() == name {
+			sh = s
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"shard": name,
+		"addr":  sh.Addr(),
+		"epoch": sh.Epoch(),
 	})
 }
 
@@ -273,6 +368,7 @@ func (g *Gateway) recheckLoop() {
 		case <-t.C:
 			g.reg.recheck(g.opts.DialTimeout)
 			for _, s := range g.reg.Shards() {
+				g.reconcileShard(s)
 				g.met.shard(s.Name()).setHealth(s.Healthy())
 			}
 		case <-g.stop:
@@ -283,7 +379,10 @@ func (g *Gateway) recheckLoop() {
 
 // session is the routing state of one inbound agent connection: the
 // remembered hello (replayed to each shard on first contact) and one lazy
-// upstream connection per shard.
+// upstream connection per shard endpoint. The cache is keyed by endpoint
+// address, not shard name, so a promotion that rewrites the route table
+// invalidates the cache naturally: the next forward resolves the shard's
+// new active address, misses, and dials the new primary.
 type session struct {
 	hello    *wire.Hello
 	upstream map[string]*wire.Conn
@@ -609,7 +708,13 @@ func (g *Gateway) forward(sess *session, sh *Shard, req wire.Envelope) (wire.Env
 			return reply, nil
 		}
 		lastErr = err
-		sh.recordFailure(time.Now(), g.opts.FailureThreshold, g.opts.BreakCooldown)
+		if opened := sh.recordFailure(time.Now(), g.opts.FailureThreshold, g.opts.BreakCooldown); opened {
+			// Breaker edge: the active endpoint just went from suspect to
+			// dead. Start a promotion attempt in the background; this
+			// request still fails, but the route is rewritten within the
+			// breaker window so the agent's retry lands on the new primary.
+			g.kickFailover(sh)
+		}
 		g.met.shard(sh.Name()).markFailed(sh.Healthy())
 		if attempt >= g.opts.RetryAttempts {
 			return wire.Envelope{}, lastErr
@@ -618,31 +723,34 @@ func (g *Gateway) forward(sess *session, sh *Shard, req wire.Envelope) (wire.Env
 	}
 }
 
-// tryForward performs one upstream round trip, discarding the cached
-// connection on any failure so the next attempt redials.
+// tryForward performs one upstream round trip against the shard's current
+// active endpoint, discarding the cached connection on any failure so the
+// next attempt redials (possibly a different endpoint after a promotion).
 func (g *Gateway) tryForward(sess *session, sh *Shard, req wire.Envelope) (wire.Envelope, error) {
-	up, err := g.upstream(sess, sh)
+	addr := sh.Addr()
+	up, err := g.upstream(sess, sh, addr)
 	if err != nil {
 		return wire.Envelope{}, err
 	}
 	_ = up.SetDeadline(time.Now().Add(g.opts.RequestTimeout))
 	reply, err := up.Request(req)
 	if err != nil {
-		g.dropUpstream(sess, sh)
+		g.dropUpstream(sess, addr)
 		return wire.Envelope{}, err
 	}
 	_ = up.SetDeadline(time.Time{})
 	return reply, nil
 }
 
-// upstream returns the session's connection to sh, dialing (and replaying
-// the session hello, so the shard registers the client exactly as a direct
-// connection would) on first use.
-func (g *Gateway) upstream(sess *session, sh *Shard) (*wire.Conn, error) {
-	if c, ok := sess.upstream[sh.Name()]; ok {
+// upstream returns the session's connection to addr (sh's active endpoint
+// as resolved by the caller), dialing — and replaying the session hello, so
+// the shard registers the client exactly as a direct connection would — on
+// first use.
+func (g *Gateway) upstream(sess *session, sh *Shard, addr string) (*wire.Conn, error) {
+	if c, ok := sess.upstream[addr]; ok {
 		return c, nil
 	}
-	nc, err := net.DialTimeout("tcp", sh.Addr(), g.opts.DialTimeout)
+	nc, err := net.DialTimeout("tcp", addr, g.opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("dial: %w", err)
 	}
@@ -664,13 +772,13 @@ func (g *Gateway) upstream(sess *session, sh *Shard) (*wire.Conn, error) {
 		}
 		_ = c.SetDeadline(time.Time{})
 	}
-	sess.upstream[sh.Name()] = c
+	sess.upstream[addr] = c
 	return c, nil
 }
 
-func (g *Gateway) dropUpstream(sess *session, sh *Shard) {
-	if c, ok := sess.upstream[sh.Name()]; ok {
+func (g *Gateway) dropUpstream(sess *session, addr string) {
+	if c, ok := sess.upstream[addr]; ok {
 		_ = c.Close()
-		delete(sess.upstream, sh.Name())
+		delete(sess.upstream, addr)
 	}
 }

@@ -8,10 +8,13 @@ import (
 // shardMetrics is the pre-resolved per-shard instrument set: label lookups
 // take a lock, so the routing path resolves them once at startup.
 type shardMetrics struct {
-	routed    *telemetry.Counter // requests routed to this shard by location
-	forwarded *telemetry.Counter // upstream requests completed
-	failed    *telemetry.Counter // upstream requests that errored
-	healthy   *telemetry.Gauge   // 1 = breaker closed, 0 = open/half-open
+	routed     *telemetry.Counter // requests routed to this shard by location
+	forwarded  *telemetry.Counter // upstream requests completed
+	failed     *telemetry.Counter // upstream requests that errored
+	healthy    *telemetry.Gauge   // 1 = breaker closed, 0 = open/half-open
+	promotions *telemetry.Counter // replica promotions executed for this shard
+	demotions  *telemetry.Counter // stale primaries demoted for this shard
+	epoch      *telemetry.Gauge   // current routing epoch
 }
 
 // gatewayMetrics holds the gateway's resolved telemetry instruments; every
@@ -42,6 +45,12 @@ func newGatewayMetrics(reg *telemetry.Registry, shards []*Shard, healthyCount fu
 		"Upstream shard requests that failed (dial, deadline, or protocol).", "shard")
 	healthy := reg.Gauge("wiscape_gateway_shard_healthy",
 		"Per-shard breaker state: 1 closed (healthy), 0 open.", "shard")
+	promotions := reg.Counter("wiscape_gateway_promotions_total",
+		"Replica promotions executed after a primary's breaker opened.", "shard")
+	demotions := reg.Counter("wiscape_gateway_demotions_total",
+		"Stale primaries ordered to demote and resync.", "shard")
+	epoch := reg.Gauge("wiscape_gateway_routing_epoch",
+		"Current routing epoch: bumped on every active-endpoint change.", "shard")
 	m := &gatewayMetrics{
 		conns: reg.Counter("wiscape_gateway_connections_total",
 			"Agent connections accepted by the gateway.").With(),
@@ -62,10 +71,13 @@ func newGatewayMetrics(reg *telemetry.Registry, shards []*Shard, healthyCount fu
 	}
 	for _, s := range shards {
 		sm := &shardMetrics{
-			routed:    routed.With(s.Name()),
-			forwarded: forwarded.With(s.Name()),
-			failed:    failed.With(s.Name()),
-			healthy:   healthy.With(s.Name()),
+			routed:     routed.With(s.Name()),
+			forwarded:  forwarded.With(s.Name()),
+			failed:     failed.With(s.Name()),
+			healthy:    healthy.With(s.Name()),
+			promotions: promotions.With(s.Name()),
+			demotions:  demotions.With(s.Name()),
+			epoch:      epoch.With(s.Name()),
 		}
 		sm.healthy.Set(1)
 		m.perShard[s.Name()] = sm
@@ -108,6 +120,19 @@ func (sm *shardMetrics) markFailed(stillHealthy bool) {
 	if sm != nil {
 		sm.failed.Inc()
 		sm.setHealth(stillHealthy)
+	}
+}
+
+func (sm *shardMetrics) markPromotion(epoch uint64) {
+	if sm != nil {
+		sm.promotions.Inc()
+		sm.epoch.Set(float64(epoch))
+	}
+}
+
+func (sm *shardMetrics) markDemotion() {
+	if sm != nil {
+		sm.demotions.Inc()
 	}
 }
 

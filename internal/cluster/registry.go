@@ -27,8 +27,13 @@ type ShardConfig struct {
 	// Name identifies the shard in logs, metrics and errors (e.g.
 	// "madison").
 	Name string
-	// Addr is the shard coordinator's protocol listener ("host:port").
+	// Addr is the shard coordinator's protocol listener ("host:port") —
+	// the endpoint assumed primary at startup.
 	Addr string
+	// Replicas are the protocol listeners of the shard's standby
+	// coordinators (WAL replicas of Addr). On primary failure the gateway
+	// promotes the freshest of them and rewrites the live route table.
+	Replicas []string
 	// Box is the geographic region the shard owns. Shards are matched in
 	// registration order, so register more specific regions first.
 	Box geo.BoundingBox
@@ -43,7 +48,9 @@ const (
 	breakerHalfOpen                     // probing: one request (or probe) may test the shard
 )
 
-// Shard is one registered coordinator plus its live health state. All
+// Shard is one registered coordinator group plus its live health and
+// routing state. The route table entry — which endpoint is active, at which
+// routing epoch — lives here; the gateway mutates it on promotion. All
 // methods are safe for concurrent use.
 type Shard struct {
 	cfg ShardConfig
@@ -52,22 +59,118 @@ type Shard struct {
 	state    breakerState
 	fails    int       // consecutive failures while closed
 	reopenAt time.Time // when an open breaker admits a trial request
+
+	endpoints   []string // cfg.Addr then cfg.Replicas; never mutated
+	active      int      // index of the endpoint agent traffic routes to
+	epoch       uint64   // bumped on every active-endpoint change
+	failingOver bool     // a promotion attempt is in flight (singleflight)
+	standbyUp   bool     // a non-active endpoint answered the last status poll
+}
+
+// StandbyUp reports whether a standby endpoint answered the gateway's last
+// status poll — the "primary-less but replica-served" readiness signal.
+func (s *Shard) StandbyUp() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.standbyUp
+}
+
+func (s *Shard) setStandbyUp(up bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.standbyUp = up
 }
 
 // Name returns the shard's configured name.
 func (s *Shard) Name() string { return s.cfg.Name }
 
-// Addr returns the shard's protocol address.
-func (s *Shard) Addr() string { return s.cfg.Addr }
+// Addr returns the protocol address agent traffic currently routes to:
+// the configured primary until a promotion rewrites the route.
+func (s *Shard) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.endpoints[s.active]
+}
+
+// Endpoints returns every configured endpoint (primary first, then
+// replicas, in configuration order).
+func (s *Shard) Endpoints() []string { return s.endpoints }
+
+// Epoch returns the shard's routing epoch: 0 at startup, bumped by every
+// promotion. Coordinators reject role orders carrying a stale epoch, so a
+// delayed promote from a previous failover cannot resurrect an old
+// primary.
+func (s *Shard) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
 
 // Box returns the shard's owned region.
 func (s *Shard) Box() geo.BoundingBox { return s.cfg.Box }
+
+// setActive rewrites the route to addr at the given epoch, resetting the
+// breaker so traffic flows to the new primary immediately. Stale epochs
+// (≤ current, unless the route already points at addr) are rejected.
+func (s *Shard) setActive(addr string, epoch uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := -1
+	for i, e := range s.endpoints {
+		if e == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || (epoch <= s.epoch && !(idx == s.active && epoch == s.epoch)) {
+		return false
+	}
+	s.active = idx
+	s.epoch = epoch
+	s.state = breakerClosed
+	s.fails = 0
+	return true
+}
+
+// beginFailover claims the shard's singleflight promotion slot; the caller
+// must endFailover when done. Reports false when another promotion is
+// already in flight or the shard has no standby to promote.
+func (s *Shard) beginFailover() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failingOver || len(s.endpoints) < 2 {
+		return false
+	}
+	s.failingOver = true
+	return true
+}
+
+func (s *Shard) endFailover() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failingOver = false
+}
 
 // Healthy reports whether the breaker is closed (normal traffic flow).
 func (s *Shard) Healthy() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.state == breakerClosed
+}
+
+// BreakerState names the breaker's current state for the route-table API:
+// "closed", "open" or "half-open".
+func (s *Shard) BreakerState() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
 }
 
 // allow reports whether a request may be sent to the shard now. An open
@@ -101,19 +204,23 @@ func (s *Shard) recordSuccess() {
 
 // recordFailure counts one failed request; threshold consecutive failures
 // (or any failure while half-open) trip the breaker open for cooldown.
-func (s *Shard) recordFailure(now time.Time, threshold int, cooldown time.Duration) {
+// Reports whether this call transitioned the breaker to open — the edge
+// the gateway's failover machinery triggers on.
+func (s *Shard) recordFailure(now time.Time, threshold int, cooldown time.Duration) (opened bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state == breakerHalfOpen {
 		s.state = breakerOpen
 		s.reopenAt = now.Add(cooldown)
-		return
+		return true
 	}
 	s.fails++
-	if s.fails >= threshold {
+	if s.fails >= threshold && s.state != breakerOpen {
 		s.state = breakerOpen
 		s.reopenAt = now.Add(cooldown)
+		return true
 	}
+	return false
 }
 
 // Registry is the gateway's static shard set. It is immutable after
@@ -140,7 +247,18 @@ func NewRegistry(cfgs []ShardConfig) (*Registry, error) {
 			return nil, fmt.Errorf("cluster: shard %q needs an address", c.Name)
 		}
 		seen[c.Name] = true
-		r.shards = append(r.shards, &Shard{cfg: c})
+		eps := append([]string{c.Addr}, c.Replicas...)
+		epSeen := make(map[string]bool, len(eps))
+		for _, e := range eps {
+			if e == "" {
+				return nil, fmt.Errorf("cluster: shard %q has an empty replica address", c.Name)
+			}
+			if epSeen[e] {
+				return nil, fmt.Errorf("cluster: shard %q lists endpoint %s twice", c.Name, e)
+			}
+			epSeen[e] = true
+		}
+		r.shards = append(r.shards, &Shard{cfg: c, endpoints: eps})
 	}
 	return r, nil
 }
@@ -179,7 +297,7 @@ func (r *Registry) recheck(dialTimeout time.Duration) {
 		if s.Healthy() {
 			continue
 		}
-		nc, err := net.DialTimeout("tcp", s.cfg.Addr, dialTimeout)
+		nc, err := net.DialTimeout("tcp", s.Addr(), dialTimeout)
 		if err != nil {
 			continue
 		}

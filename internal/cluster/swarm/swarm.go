@@ -10,6 +10,7 @@ package swarm
 import (
 	"fmt"
 	"net"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -63,6 +64,23 @@ type Options struct {
 	// round. Defaults: 2010-09-06T09:00Z, 5 minutes.
 	Start    time.Time
 	Interval time.Duration
+
+	// RoundDelay is a real-time pause each agent takes between rounds.
+	// Zero (the default) runs rounds back to back — right for throughput
+	// benchmarks; chaos runs set it so the run spans the kill window.
+	RoundDelay time.Duration
+
+	// KillTarget arms the chaos hook: the ops-plane base URL
+	// ("http://host:port") of a coordinator started with -admin. KillAfter
+	// into the run the swarm POSTs its suspend endpoint (severing the
+	// shard mid-ingest); RestartAfter later it POSTs resume (zero leaves
+	// it down). The Result then reports the observed ingest gap.
+	KillTarget   string
+	KillAfter    time.Duration
+	RestartAfter time.Duration
+
+	// Logf receives chaos-hook diagnostics; nil silences them.
+	Logf func(format string, args ...any)
 }
 
 func (o *Options) fill() {
@@ -99,6 +117,9 @@ func (o *Options) fill() {
 	if o.Interval <= 0 {
 		o.Interval = 5 * time.Minute
 	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
 }
 
 // Result summarizes one swarm run.
@@ -115,6 +136,14 @@ type Result struct {
 
 	// Request-latency distribution over successful round trips.
 	P50, P95, P99, MaxLatency time.Duration
+
+	// Chaos-run observations (zero unless KillTarget was set). KillAt and
+	// ResumeAt are offsets from the run start; MaxIngestGap is the longest
+	// stretch of the run with no sample ack anywhere in the swarm — the
+	// operator-visible ingest outage across kill, failover and restart.
+	KillAt       time.Duration
+	ResumeAt     time.Duration
+	MaxIngestGap time.Duration
 }
 
 // RequestsPerSec is the sustained protocol round-trip rate.
@@ -146,6 +175,13 @@ func (r Result) String() string {
 	fmt.Fprintf(&b, "  latency: p50 %v  p95 %v  p99 %v  max %v",
 		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.MaxLatency.Round(time.Microsecond))
+	if r.KillAt > 0 {
+		fmt.Fprintf(&b, "\n  chaos: killed at +%v", r.KillAt.Round(time.Millisecond))
+		if r.ResumeAt > 0 {
+			fmt.Fprintf(&b, ", restarted at +%v", r.ResumeAt.Round(time.Millisecond))
+		}
+		fmt.Fprintf(&b, "; max ingest gap %v", r.MaxIngestGap.Round(time.Millisecond))
+	}
 	return b.String()
 }
 
@@ -157,6 +193,7 @@ type agentTally struct {
 	accepted  int64
 	completed bool
 	latencies []float64 // seconds per successful round trip
+	ackTimes  []float64 // seconds since run start of each sample ack
 }
 
 // Run drives the swarm against addr (a coordinator or a gateway — the
@@ -175,16 +212,53 @@ func Run(addr string, opts Options) (Result, error) {
 	tallies := make([]agentTally, opts.Agents)
 	var wg sync.WaitGroup
 	t0 := time.Now()
+
+	// Chaos hook: suspend (and optionally resume) the target coordinator on
+	// schedule, in parallel with the load. The goroutine gives up early if
+	// every agent finishes before its next timer fires.
+	done := make(chan struct{})
+	var killAt, resumeAt time.Duration
+	var chaosWG sync.WaitGroup
+	if opts.KillTarget != "" && opts.KillAfter > 0 {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			if !chaosSleep(opts.KillAfter, done) {
+				return
+			}
+			if err := chaosPost(opts.KillTarget + "/api/v1/admin/suspend"); err != nil {
+				opts.Logf("swarm: chaos suspend: %v", err)
+				return
+			}
+			killAt = time.Since(t0)
+			opts.Logf("swarm: chaos: suspended %s at +%v", opts.KillTarget, killAt.Round(time.Millisecond))
+			if opts.RestartAfter <= 0 {
+				return
+			}
+			if !chaosSleep(opts.RestartAfter, done) {
+				return
+			}
+			if err := chaosPost(opts.KillTarget + "/api/v1/admin/resume"); err != nil {
+				opts.Logf("swarm: chaos resume: %v", err)
+				return
+			}
+			resumeAt = time.Since(t0)
+			opts.Logf("swarm: chaos: resumed %s at +%v", opts.KillTarget, resumeAt.Round(time.Millisecond))
+		}()
+	}
+
 	for i := 0; i < opts.Agents; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			region := opts.Regions[i%len(opts.Regions)]
 			grid := grids[i%len(opts.Regions)]
-			runAgent(addr, opts, i, region, grid, &tallies[i])
+			runAgent(addr, opts, i, t0, region, grid, &tallies[i])
 		}(i)
 	}
 	wg.Wait()
+	close(done)
+	chaosWG.Wait()
 	elapsed := time.Since(t0)
 
 	res := Result{
@@ -211,7 +285,60 @@ func Run(addr string, opts Options) (Result, error) {
 		res.P99 = secs(stats.Percentile(lat, 99))
 		res.MaxLatency = secs(lat[len(lat)-1])
 	}
+	res.KillAt = killAt
+	res.ResumeAt = resumeAt
+	if opts.KillTarget != "" {
+		var acks []float64
+		for i := range tallies {
+			acks = append(acks, tallies[i].ackTimes...)
+		}
+		res.MaxIngestGap = maxIngestGap(acks, elapsed.Seconds())
+	}
 	return res, nil
+}
+
+// maxIngestGap is the longest stretch of the run during which no sample ack
+// landed anywhere in the swarm, run boundaries included.
+func maxIngestGap(ackTimes []float64, elapsed float64) time.Duration {
+	if len(ackTimes) == 0 {
+		return secs(elapsed)
+	}
+	sort.Float64s(ackTimes)
+	gap := ackTimes[0] // start -> first ack
+	for i := 1; i < len(ackTimes); i++ {
+		if d := ackTimes[i] - ackTimes[i-1]; d > gap {
+			gap = d
+		}
+	}
+	if d := elapsed - ackTimes[len(ackTimes)-1]; d > gap {
+		gap = d
+	}
+	return secs(gap)
+}
+
+// chaosSleep waits d out, reporting false if the run finished first.
+func chaosSleep(d time.Duration, done <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// chaosPost hits one coordinator chaos admin endpoint.
+func chaosPost(url string) error {
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("POST %s: %s", url, resp.Status)
+	}
+	return nil
 }
 
 func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
@@ -221,7 +348,7 @@ func secs(s float64) time.Duration { return time.Duration(s * float64(time.Secon
 // agent (resilience is the real agent's job; the swarm measures the
 // server); an error *reply* counts as a failure but the agent carries on,
 // which is what keeps a half-degraded cluster measurable.
-func runAgent(addr string, opts Options, idx int, region geo.BoundingBox, grid *geo.Grid, tally *agentTally) {
+func runAgent(addr string, opts Options, idx int, t0 time.Time, region geo.BoundingBox, grid *geo.Grid, tally *agentTally) {
 	r := rng.NewNamed(opts.Seed, fmt.Sprintf("swarm-agent-%d", idx))
 	id := fmt.Sprintf("swarm-%04d", idx)
 
@@ -257,6 +384,9 @@ func runAgent(addr string, opts Options, idx int, region geo.BoundingBox, grid *
 	}
 
 	for round := 0; round < opts.Rounds; round++ {
+		if round > 0 && opts.RoundDelay > 0 {
+			time.Sleep(opts.RoundDelay)
+		}
 		at := opts.Start.Add(time.Duration(round) * opts.Interval)
 		loc := geo.Point{
 			Lat: r.Range(region.MinLat, region.MaxLat),
@@ -296,6 +426,9 @@ func runAgent(addr string, opts Options, idx int, region geo.BoundingBox, grid *
 		}
 		if ack.Type == wire.TypeSampleAck {
 			tally.accepted += int64(ack.SampleAck.Accepted)
+			if ack.SampleAck.Accepted > 0 {
+				tally.ackTimes = append(tally.ackTimes, time.Since(t0).Seconds())
+			}
 		}
 	}
 	tally.completed = true

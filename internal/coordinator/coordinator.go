@@ -13,11 +13,13 @@ import (
 	"os"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/radio"
+	"repro/internal/replication"
 	"repro/internal/rng"
 	"repro/internal/store"
 	"repro/internal/telemetry"
@@ -76,6 +78,43 @@ type Options struct {
 	// OpsAddr alone is enough to get a fully instrumented server.
 	OpsAddr string
 
+	// ServerID names this coordinator in status replies and replication
+	// handshakes. Default "wiscape-coordinator".
+	ServerID string
+
+	// ReplicationAddr, when non-empty, opens a WAL replication listener on
+	// that address (requires DataDir): replicas attach here to bootstrap
+	// from a snapshot and tail the log. Every node of a replicated shard
+	// sets it — a replica's listener serves its mirrored log the moment it
+	// is promoted.
+	ReplicationAddr string
+
+	// ReplicateFrom, when non-empty, starts this coordinator as a replica
+	// of the given primary replication address: it serves reads, rejects
+	// sample reports, and tails the primary's log until promoted.
+	ReplicateFrom string
+
+	// ForceResync makes a starting replica discard local state and
+	// bootstrap from a fresh primary snapshot even when its own WAL could
+	// resume — the demote/rejoin path, where local history may have
+	// diverged.
+	ForceResync bool
+
+	// SyncReplication withholds sample acks until a replica has
+	// acknowledged the report's last LSN (semi-synchronous replication):
+	// an acked sample then survives the primary's death. Only enforced
+	// while at least one replica is attached, so a lone primary keeps
+	// accepting writes.
+	SyncReplication bool
+
+	// SyncTimeout bounds the semi-synchronous wait. Default 2s.
+	SyncTimeout time.Duration
+
+	// EnableAdmin installs the mutating ops endpoints (POST
+	// /api/v1/admin/suspend and /resume) the chaos harness uses to
+	// simulate shard death without killing the process.
+	EnableAdmin bool
+
 	// Logf receives server diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -96,6 +135,12 @@ func (o *Options) fill() {
 	if o.CheckpointInterval == 0 {
 		o.CheckpointInterval = time.Minute
 	}
+	if o.ServerID == "" {
+		o.ServerID = "wiscape-coordinator"
+	}
+	if o.SyncTimeout <= 0 {
+		o.SyncTimeout = 2 * time.Second
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -112,18 +157,32 @@ type clientState struct {
 
 // Server is a running coordinator.
 type Server struct {
-	ctrl  *core.Controller
+	ctrl  atomic.Pointer[core.Controller] // swapped wholesale on replica bootstrap
 	opts  Options
 	ln    net.Listener
 	store *store.Store         // nil without Options.DataDir
 	ops   *telemetry.OpsServer // nil without Options.OpsAddr
 	met   *coordMetrics
+	addr  string // first bound protocol address; stable across Suspend/Resume
 
-	mu      sync.Mutex
-	clients map[string]*clientState
-	conns   map[net.Conn]struct{}
-	r       *rng.Rand
-	closed  bool
+	// ingestMu serializes the journal+ingest pair against snapshot capture:
+	// a snapshot taken under it is exactly the state at the LSN read under
+	// it, which both checkpointing and replica bootstrap depend on.
+	ingestMu sync.Mutex
+
+	mu        sync.Mutex
+	clients   map[string]*clientState
+	conns     map[net.Conn]struct{}
+	r         *rng.Rand
+	closed    bool
+	suspended bool
+
+	// Replication role state, guarded by mu. Exactly one of src/rep is
+	// active at a time; both nil means replication is off.
+	role  string
+	epoch uint64
+	src   *replication.Source
+	rep   *replication.Replica
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -176,14 +235,24 @@ func Serve(ctrl *core.Controller, addr string, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("coordinator: listen %s: %w", addr, err)
 	}
 	s := &Server{
-		ctrl:    ctrl,
 		opts:    opts,
 		ln:      ln,
+		addr:    ln.Addr().String(),
 		store:   st,
 		clients: make(map[string]*clientState),
 		conns:   make(map[net.Conn]struct{}),
 		r:       rng.NewNamed(opts.Seed, "coordinator-tasks"),
 		stop:    make(chan struct{}),
+	}
+	s.ctrl.Store(ctrl)
+	if err := s.startReplication(); err != nil {
+		_ = ln.Close()
+		if st != nil {
+			if cerr := st.Close(); cerr != nil {
+				opts.Logf("coordinator: closing store after replication failure: %v", cerr)
+			}
+		}
+		return nil, err
 	}
 	s.met = newCoordMetrics(opts.Telemetry, s.ClientCount,
 		func() int64 { return s.Controller().DroppedAlerts() })
@@ -204,10 +273,13 @@ func Serve(ctrl *core.Controller, addr string, opts Options) (*Server, error) {
 		}
 		s.ops = ops
 		s.installOpsEndpoints(ops)
+		if opts.EnableAdmin {
+			s.installAdminEndpoints(ops)
+		}
 		opts.Logf("coordinator: ops plane listening on %s", ops.Addr())
 	}
 	s.wg.Add(1)
-	go s.acceptLoop()
+	go s.acceptLoop(ln)
 	if st != nil && opts.CheckpointInterval > 0 {
 		s.wg.Add(1)
 		go s.checkpointLoop()
@@ -216,11 +288,12 @@ func Serve(ctrl *core.Controller, addr string, opts Options) (*Server, error) {
 }
 
 // ready backs /readyz: the coordinator is ready from the moment Serve
-// returns (recovery done, listener up) until Close begins.
+// returns (recovery done, listener up) until Close begins, except while
+// chaos-suspended (the listener is down, so routing to it would fail).
 func (s *Server) ready() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return !s.closed
+	return !s.closed && !s.suspended
 }
 
 func recoveredEntries(snap *core.Snapshot) int {
@@ -230,8 +303,8 @@ func recoveredEntries(snap *core.Snapshot) int {
 	return len(snap.Entries)
 }
 
-// Addr returns the listening address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+// Addr returns the listening address (stable across Suspend/Resume).
+func (s *Server) Addr() string { return s.addr }
 
 // OpsAddr returns the ops HTTP plane's bound address, "" when disabled.
 func (s *Server) OpsAddr() string { return s.ops.Addr() }
@@ -240,8 +313,10 @@ func (s *Server) OpsAddr() string { return s.ops.Addr() }
 // server is uninstrumented).
 func (s *Server) Telemetry() *telemetry.Registry { return s.opts.Telemetry }
 
-// Controller exposes the underlying estimator state.
-func (s *Server) Controller() *core.Controller { return s.ctrl }
+// Controller exposes the underlying estimator state. On a replica the
+// controller is replaced wholesale by a snapshot bootstrap, so callers must
+// not cache the returned pointer across requests.
+func (s *Server) Controller() *core.Controller { return s.ctrl.Load() }
 
 // Close stops accepting, closes every active connection (a stalled client
 // must not hold shutdown hostage), waits for handlers to finish, drains
@@ -263,9 +338,28 @@ func (s *Server) Close() error {
 	for _, nc := range conns {
 		_ = nc.Close()
 	}
-	err := s.ln.Close()
-	if errors.Is(err, net.ErrClosed) {
-		err = nil // a second Close is a no-op, not an error
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+		if errors.Is(err, net.ErrClosed) {
+			err = nil // a second Close is a no-op, not an error
+		}
+	}
+	// Replication winds down before the store: a replica's apply loop and a
+	// primary's source both write/read the store and must finish first.
+	s.mu.Lock()
+	rep, src := s.rep, s.src
+	s.rep, s.src = nil, nil
+	s.mu.Unlock()
+	if rep != nil {
+		err = errors.Join(err, rep.Close())
+	}
+	if src != nil {
+		err = errors.Join(err, src.Close())
 	}
 	s.wg.Wait()
 	// Ops plane drains after the protocol handlers: an in-flight scrape
@@ -298,11 +392,29 @@ func (s *Server) checkpointLoop() {
 // CheckpointNow forces an immediate durable checkpoint of the controller's
 // published state and compacts WAL segments the retained checkpoints
 // cover. It is a no-op without a data dir.
+//
+// The snapshot and the LSN it covers are captured together under ingestMu,
+// so a sample journaled concurrently is either inside the snapshot or past
+// the checkpoint LSN — never marked covered while missing from the state.
 func (s *Server) CheckpointNow() error {
 	if s.store == nil {
 		return nil
 	}
-	return s.store.Checkpoint(s.ctrl.Snapshot(time.Now()))
+	snap, lsn := s.captureSnapshot()
+	return s.store.CheckpointAt(lsn, snap)
+}
+
+// captureSnapshot returns a controller snapshot consistent with the WAL
+// position it reports: nothing can append between the LSN read and the
+// state capture. This is also the replication source's bootstrap hook.
+func (s *Server) captureSnapshot() (core.Snapshot, uint64) {
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	var lsn uint64
+	if s.store != nil {
+		lsn = s.store.LastLSN()
+	}
+	return s.Controller().Snapshot(time.Now()), lsn
 }
 
 // ClientCount returns the number of registered clients.
@@ -312,15 +424,17 @@ func (s *Server) ClientCount() int {
 	return len(s.clients)
 }
 
-func (s *Server) acceptLoop() {
+func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
 	for {
-		nc, err := s.ln.Accept()
+		nc, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
 			if closed || errors.Is(err, net.ErrClosed) {
+				// Closed by Suspend or Close; either way this loop is done
+				// (Resume starts a fresh one).
 				return
 			}
 			s.opts.Logf("coordinator: accept: %v", err)
@@ -404,7 +518,7 @@ func (s *Server) dispatch(req wire.Envelope) (reply wire.Envelope, fatal bool) {
 		s.mu.Unlock()
 		s.opts.Logf("coordinator: client %s (%s) registered", req.Hello.ClientID, req.Hello.DeviceClass)
 		return wire.Envelope{Type: wire.TypeHelloAck, HelloAck: &wire.HelloAck{
-			ServerID:        "wiscape-coordinator",
+			ServerID:        s.opts.ServerID,
 			TaskIntervalSec: s.opts.TaskInterval.Seconds(),
 		}}, false
 
@@ -423,7 +537,16 @@ func (s *Server) dispatch(req wire.Envelope) (reply wire.Envelope, fatal bool) {
 		if sr == nil {
 			return errEnvelope("empty sample report"), true
 		}
+		if s.Role() == wire.RoleReplica {
+			// Replicas serve reads; writes belong to the primary. The
+			// gateway's route table normally prevents this — answer
+			// non-fatally so a transiently misrouted agent can retry after
+			// the routing epoch catches up.
+			return errEnvelope("replica is read-only"), false
+		}
 		accepted := 0
+		var lastLSN uint64
+		s.ingestMu.Lock()
 		for _, smp := range sr.Samples {
 			if smp.ClientID == "" {
 				smp.ClientID = sr.ClientID
@@ -431,17 +554,29 @@ func (s *Server) dispatch(req wire.Envelope) (reply wire.Envelope, fatal bool) {
 			// Journal before the controller sees the sample: anything the
 			// estimator state reflects is recoverable from disk.
 			if s.store != nil {
-				if _, err := s.store.Append(smp); err != nil {
+				lsn, err := s.store.Append(smp)
+				if err != nil {
+					s.ingestMu.Unlock()
 					if errors.Is(err, store.ErrClosed) {
 						return errEnvelope("coordinator shutting down"), true
 					}
 					return errEnvelope(fmt.Sprintf("journal write failed: %v", err)), true
 				}
+				lastLSN = lsn
 			}
-			s.ctrl.Ingest(smp)
+			s.Controller().Ingest(smp)
 			accepted++
 		}
+		s.ingestMu.Unlock()
 		s.met.samplesIngested.Add(float64(accepted))
+		s.notifyReplicas()
+		if !s.waitReplicated(lastLSN) {
+			// The samples are journaled and ingested locally, but the
+			// configured durability bar (a replica ack) was not met in time;
+			// withholding the ack tells the agent its upload is not yet safe
+			// against this primary's death.
+			return errEnvelope("replication ack timeout: samples journaled but not yet replicated"), false
+		}
 		return wire.Envelope{Type: wire.TypeSampleAck, SampleAck: &wire.SampleAck{Accepted: accepted}}, false
 
 	case wire.TypeZoneListRequest:
@@ -450,7 +585,7 @@ func (s *Server) dispatch(req wire.Envelope) (reply wire.Envelope, fatal bool) {
 			return errEnvelope("empty zone list request"), true
 		}
 		return wire.Envelope{Type: wire.TypeZoneListReply, ZoneListReply: &wire.ZoneListReply{
-			Records: s.ctrl.Records(zl.Network, zl.Metric),
+			Records: s.Controller().Records(zl.Network, zl.Metric),
 		}}, false
 
 	case wire.TypeEstimateRequest:
@@ -459,14 +594,37 @@ func (s *Server) dispatch(req wire.Envelope) (reply wire.Envelope, fatal bool) {
 			return errEnvelope("empty estimate request"), true
 		}
 		key := core.Key{Zone: er.Zone, Net: er.Network, Metric: er.Metric}
-		rec, ok := s.ctrl.Estimate(key)
+		rec, ok := s.Controller().Estimate(key)
 		reply := &wire.EstimateReply{Found: ok, Record: rec}
 		if ok {
 			// Attach the window sketch so gateways can merge per-shard
 			// distributions instead of averaging point estimates.
-			reply.Sketch, _ = s.ctrl.SketchFor(key)
+			reply.Sketch, _ = s.Controller().SketchFor(key)
 		}
 		return wire.Envelope{Type: wire.TypeEstimateReply, EstimateReply: reply}, false
+
+	case wire.TypeStatusRequest:
+		return wire.Envelope{Type: wire.TypeStatusReply, StatusReply: s.statusReply()}, false
+
+	case wire.TypePromote:
+		if req.Promote == nil {
+			return errEnvelope("empty promote request"), true
+		}
+		ack, err := s.promote(req.Promote.Epoch)
+		if err != nil {
+			return errEnvelope(fmt.Sprintf("promote failed: %v", err)), true
+		}
+		return wire.Envelope{Type: wire.TypePromoteAck, PromoteAck: ack}, false
+
+	case wire.TypeDemote:
+		if req.Demote == nil || req.Demote.PrimaryReplAddr == "" {
+			return errEnvelope("demote requires the new primary's replication address"), true
+		}
+		ack, err := s.demote(req.Demote.Epoch, req.Demote.PrimaryReplAddr)
+		if err != nil {
+			return errEnvelope(fmt.Sprintf("demote failed: %v", err)), true
+		}
+		return wire.Envelope{Type: wire.TypeDemoteAck, DemoteAck: ack}, false
 
 	default:
 		return errEnvelope(fmt.Sprintf("unexpected message type %q", req.Type)), true
@@ -512,12 +670,12 @@ func (s *Server) assignTasks(zr *wire.ZoneReport) []wire.Task {
 		}
 		for _, metric := range s.opts.Metrics {
 			key := core.Key{Zone: zr.Zone, Net: net, Metric: metric}
-			epoch := s.ctrl.EpochOf(key)
+			epoch := s.Controller().EpochOf(key)
 			rounds := core.RoundsPerEpoch(epoch, s.opts.TaskInterval)
 			// The per-zone requirement starts at the configured default and
 			// converges to the NKLD-derived count as history accumulates
 			// (§3.3/§3.4).
-			required := s.ctrl.RequiredSamplesFor(key)
+			required := s.Controller().RequiredSamplesFor(key)
 			p := core.TaskProbability(required, active, rounds)
 			s.mu.Lock()
 			hit := s.r.Bool(p)

@@ -86,7 +86,7 @@ func (s *Server) installOpsEndpoints(ops *telemetry.OpsServer) {
 // a freshly started coordinator is not invisible to its operator.
 func (s *Server) zoneEstimates(zone *geo.ZoneID, net radio.NetworkID, metric trace.Metric) []ZoneEstimate {
 	now := time.Now()
-	snap := s.ctrl.View(now)
+	snap := s.Controller().View(now)
 	out := []ZoneEstimate{}
 	for _, e := range snap.Entries {
 		if zone != nil && e.Key.Zone != *zone {
@@ -109,7 +109,7 @@ func (s *Server) zoneEstimates(zone *geo.ZoneID, net radio.NetworkID, metric tra
 		rec := e.Record
 		if rec == nil {
 			// Not published yet; serve the running accumulator if any.
-			if live, ok := s.ctrl.Estimate(e.Key); ok {
+			if live, ok := s.Controller().Estimate(e.Key); ok {
 				rec = &live
 			}
 		}

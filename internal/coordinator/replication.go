@@ -1,0 +1,372 @@
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/replication"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// errNeedsStore gates replication on durability: a primary streams its WAL
+// and a replica journals at the primary's offsets, so both need a store.
+var errNeedsStore = errors.New("coordinator: replication requires Options.DataDir")
+
+// startReplication brings up the node's replication role from Options:
+// a source listener when ReplicationAddr is set, and the replica tail when
+// ReplicateFrom is set. Called once from Serve, before traffic.
+func (s *Server) startReplication() error {
+	if s.opts.ReplicationAddr == "" && s.opts.ReplicateFrom == "" {
+		return nil
+	}
+	if s.store == nil {
+		return errNeedsStore
+	}
+	src, err := replication.NewSource(s.store, s.opts.ReplicationAddr, replication.SourceOptions{
+		Snapshot:  s.captureSnapshot,
+		Telemetry: s.opts.Telemetry,
+		Logf:      s.opts.Logf,
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.src = src
+	if s.opts.ReplicateFrom != "" {
+		s.role = wire.RoleReplica
+		s.rep = s.startReplicaLocked(s.opts.ReplicateFrom, s.opts.ForceResync)
+	} else {
+		s.role = wire.RolePrimary
+	}
+	role := s.role
+	s.mu.Unlock()
+	s.opts.Logf("coordinator: %s: replication listener on %s, role %s",
+		s.opts.ServerID, src.Addr(), role)
+	return nil
+}
+
+// startReplicaLocked builds the tail client for one primary. Caller holds
+// s.mu and stores the result in s.rep.
+func (s *Server) startReplicaLocked(primaryAddr string, forceResync bool) *replication.Replica {
+	var from uint64
+	if !forceResync {
+		from = s.store.LastLSN() + 1
+	}
+	return replication.StartReplica(primaryAddr, &replicaApplier{s: s}, replication.ReplicaOptions{
+		ID:            s.opts.ServerID,
+		From:          from,
+		ForceSnapshot: forceResync,
+		Seed:          s.opts.Seed,
+		Telemetry:     s.opts.Telemetry,
+		Logf:          s.opts.Logf,
+	})
+}
+
+// Role returns the node's replication role: wire.RolePrimary,
+// wire.RoleReplica, or "" when replication is off (an unreplicated
+// coordinator accepts writes like a primary).
+func (s *Server) Role() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.role
+}
+
+// Epoch returns the routing epoch of the node's last role change.
+func (s *Server) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// ReplicationAddr returns the replication listener's bound address, ""
+// when replication is off.
+func (s *Server) ReplicationAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.src == nil {
+		return ""
+	}
+	return s.src.Addr()
+}
+
+// notifyReplicas wakes attached replica streams after an append.
+func (s *Server) notifyReplicas() {
+	s.mu.Lock()
+	src := s.src
+	s.mu.Unlock()
+	if src != nil {
+		src.Notify()
+	}
+}
+
+// waitReplicated implements the semi-synchronous ack bar: with
+// SyncReplication on and at least one replica attached, the sample ack
+// waits until some replica acknowledges lsn. Reports true when the bar is
+// met (or not configured).
+func (s *Server) waitReplicated(lsn uint64) bool {
+	if !s.opts.SyncReplication || lsn == 0 {
+		return true
+	}
+	s.mu.Lock()
+	src := s.src
+	s.mu.Unlock()
+	if src == nil || src.ConnectedReplicas() == 0 {
+		return true
+	}
+	return src.WaitCommitted(lsn, s.opts.SyncTimeout)
+}
+
+// replicaApplier feeds the primary's stream into this server: every record
+// is journaled to the local WAL at the primary's LSN and ingested into the
+// live controller, so the replica is promotable at any instant with full
+// durability and query state.
+type replicaApplier struct{ s *Server }
+
+func (a *replicaApplier) Bootstrap(lsn uint64, snap core.Snapshot) error {
+	s := a.s
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if err := s.store.ResetTo(lsn, snap); err != nil {
+		return err
+	}
+	s.ctrl.Store(core.Restore(snap))
+	return nil
+}
+
+func (a *replicaApplier) Apply(lsn uint64, smp trace.Sample) error {
+	s := a.s
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if err := s.store.AppendAt(lsn, smp); err != nil {
+		return err
+	}
+	s.Controller().Ingest(smp)
+	// Chained consumers (a replica's own replicas, live after promotion)
+	// ride the same wake path as primary ingest.
+	if src := a.srcLocked(); src != nil {
+		src.Notify()
+	}
+	return nil
+}
+
+func (a *replicaApplier) srcLocked() *replication.Source {
+	a.s.mu.Lock()
+	defer a.s.mu.Unlock()
+	return a.s.src
+}
+
+// statusReply reports this node's replication position for the gateway's
+// promotion decisions.
+func (s *Server) statusReply() *wire.StatusReply {
+	s.mu.Lock()
+	role, epoch, src, rep := s.role, s.epoch, s.src, s.rep
+	s.mu.Unlock()
+	reply := &wire.StatusReply{ServerID: s.opts.ServerID, Role: role, Epoch: epoch}
+	if s.store != nil {
+		reply.LastLSN = s.store.LastLSN()
+	}
+	if src != nil {
+		reply.ReplAddr = src.Addr()
+		for _, ri := range src.Replicas() {
+			reply.Replicas = append(reply.Replicas, wire.ReplicaState{
+				ID: ri.ID, AckedLSN: ri.AckedLSN, Connected: ri.Connected,
+			})
+		}
+	}
+	if rep != nil {
+		st := rep.Status()
+		reply.AppliedLSN = st.AppliedLSN
+		reply.PrimaryLSN = st.PrimaryLSN
+		reply.LagRecords = st.Lag
+	}
+	return reply
+}
+
+// promote turns a replica into the shard's primary at the given routing
+// epoch: stop tailing the old primary and start accepting writes. The
+// replication listener was up all along, so peers can resync immediately.
+// Idempotent: promoting a primary only advances its epoch.
+func (s *Server) promote(epoch uint64) (*wire.PromoteAck, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("coordinator: closed")
+	}
+	if s.src == nil {
+		s.mu.Unlock()
+		return nil, errors.New("coordinator: replication not enabled")
+	}
+	if epoch < s.epoch {
+		cur := s.epoch
+		s.mu.Unlock()
+		return nil, fmt.Errorf("coordinator: stale promote epoch %d (current %d)", epoch, cur)
+	}
+	rep := s.rep
+	s.rep = nil
+	wasReplica := s.role == wire.RoleReplica
+	s.role = wire.RolePrimary
+	s.epoch = epoch
+	src := s.src
+	s.mu.Unlock()
+	// Stop tailing outside the lock (Close blocks on the stream goroutine).
+	if rep != nil {
+		if err := rep.Close(); err != nil {
+			s.opts.Logf("coordinator: %s: closing replica tail on promote: %v", s.opts.ServerID, err)
+		}
+	}
+	if wasReplica {
+		s.opts.Logf("coordinator: %s: promoted to primary at epoch %d (LSN %d)",
+			s.opts.ServerID, epoch, s.store.LastLSN())
+	}
+	return &wire.PromoteAck{
+		ServerID: s.opts.ServerID,
+		Epoch:    epoch,
+		LastLSN:  s.store.LastLSN(),
+		ReplAddr: src.Addr(),
+	}, nil
+}
+
+// demote turns this node into a replica of primaryReplAddr, discarding
+// divergent local state via a forced snapshot bootstrap — the rejoin path
+// for a deposed primary coming back from the dead.
+func (s *Server) demote(epoch uint64, primaryReplAddr string) (*wire.DemoteAck, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("coordinator: closed")
+	}
+	if s.store == nil {
+		s.mu.Unlock()
+		return nil, errNeedsStore
+	}
+	if epoch < s.epoch {
+		cur := s.epoch
+		s.mu.Unlock()
+		return nil, fmt.Errorf("coordinator: stale demote epoch %d (current %d)", epoch, cur)
+	}
+	oldRep := s.rep
+	s.rep = nil
+	s.role = wire.RoleReplica
+	s.epoch = epoch
+	s.mu.Unlock()
+	if oldRep != nil {
+		if err := oldRep.Close(); err != nil {
+			s.opts.Logf("coordinator: %s: closing stale replica tail on demote: %v", s.opts.ServerID, err)
+		}
+	}
+	s.mu.Lock()
+	if !s.closed {
+		// Forced resync: this node's unreplicated suffix (writes acked
+		// after the new primary's view) is deliberately discarded; with
+		// SyncReplication those writes were never acked to agents.
+		s.rep = s.startReplicaLocked(primaryReplAddr, true)
+	}
+	s.mu.Unlock()
+	s.opts.Logf("coordinator: %s: demoted to replica of %s at epoch %d",
+		s.opts.ServerID, primaryReplAddr, epoch)
+	return &wire.DemoteAck{ServerID: s.opts.ServerID, Epoch: epoch}, nil
+}
+
+// Suspend simulates shard death for the chaos harness without losing the
+// process: the protocol listener closes, every client connection severs,
+// and the replication source stops serving. The ops plane stays up so the
+// harness can Resume. Idempotent.
+func (s *Server) Suspend() {
+	s.mu.Lock()
+	if s.suspended || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.suspended = true
+	ln := s.ln
+	s.ln = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	for nc := range s.conns {
+		conns = append(conns, nc)
+	}
+	src := s.src
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, nc := range conns {
+		_ = nc.Close()
+	}
+	if src != nil {
+		src.Suspend()
+	}
+	s.opts.Logf("coordinator: %s: suspended (chaos)", s.opts.ServerID)
+}
+
+// Resume undoes Suspend: the protocol listener and replication source come
+// back on their original addresses.
+func (s *Server) Resume() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("coordinator: closed")
+	}
+	if !s.suspended {
+		s.mu.Unlock()
+		return nil
+	}
+	addr := s.addr
+	s.mu.Unlock()
+	// Listen outside the lock (lockio: binds can block), then re-check the
+	// state we released it in — a concurrent Close or double Resume loses.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("coordinator: re-listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed || !s.suspended {
+		closed := s.closed
+		s.mu.Unlock()
+		_ = ln.Close()
+		if closed {
+			return errors.New("coordinator: closed")
+		}
+		return nil
+	}
+	s.suspended = false
+	s.ln = ln
+	src := s.src
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	if src != nil {
+		if err := src.Resume(); err != nil {
+			return err
+		}
+	}
+	s.opts.Logf("coordinator: %s: resumed", s.opts.ServerID)
+	return nil
+}
+
+// installAdminEndpoints wires the chaos-harness control surface onto the
+// ops server (only with Options.EnableAdmin):
+//
+//	POST /api/v1/admin/suspend   sever all traffic, keep the process
+//	POST /api/v1/admin/resume    come back on the same addresses
+func (s *Server) installAdminEndpoints(ops opsHandler) {
+	ops.HandleFunc("POST /api/v1/admin/suspend", func(w http.ResponseWriter, r *http.Request) {
+		s.Suspend()
+		writeJSON(w, http.StatusOK, map[string]string{"state": "suspended"})
+	})
+	ops.HandleFunc("POST /api/v1/admin/resume", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Resume(); err != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"state": "running"})
+	})
+}
+
+// opsHandler is the slice of telemetry.OpsServer the admin surface needs.
+type opsHandler interface {
+	HandleFunc(pattern string, handler func(http.ResponseWriter, *http.Request))
+}

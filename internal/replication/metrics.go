@@ -1,0 +1,55 @@
+package replication
+
+import "repro/internal/telemetry"
+
+// sourceMetrics holds the primary side's resolved instruments. Every field
+// is nil-safe, so the stream path updates them unconditionally.
+type sourceMetrics struct {
+	attaches       *telemetry.Counter
+	recordsShipped *telemetry.Counter
+	snapshotsSent  *telemetry.Counter
+}
+
+// newSourceMetrics registers the source families on reg. The connected
+// replica gauge is computed at scrape time from the live conn set, so
+// there is no update site to forget.
+func newSourceMetrics(reg *telemetry.Registry, connected func() int) sourceMetrics {
+	reg.GaugeFunc("wiscape_replication_connected_replicas",
+		"Replica streams currently attached to this primary.",
+		func() float64 { return float64(connected()) })
+	return sourceMetrics{
+		attaches: reg.Counter("wiscape_replication_attaches_total",
+			"Replica handshakes accepted by this primary.").With(),
+		recordsShipped: reg.Counter("wiscape_replication_records_shipped_total",
+			"WAL records streamed to replicas (counted per replica stream).").With(),
+		snapshotsSent: reg.Counter("wiscape_replication_snapshots_sent_total",
+			"Snapshot bootstraps shipped to replicas (first attach or resync).").With(),
+	}
+}
+
+// replicaMetrics holds the consumer side's resolved instruments.
+type replicaMetrics struct {
+	recordsApplied *telemetry.Counter
+	resyncs        *telemetry.Counter
+	reconnects     *telemetry.Counter
+}
+
+// newReplicaMetrics registers the replica families on reg. The lag gauge —
+// the cluster tier's catch-up signal — is computed at scrape time from the
+// replica's own Status.
+func newReplicaMetrics(reg *telemetry.Registry, status func() Status) replicaMetrics {
+	reg.GaugeFunc("wiscape_replication_lag_records",
+		"Catch-up distance in records: primary's last LSN minus applied LSN.",
+		func() float64 { return float64(status().Lag) })
+	reg.GaugeFunc("wiscape_replication_applied_lsn",
+		"Last LSN applied by this replica.",
+		func() float64 { return float64(status().AppliedLSN) })
+	return replicaMetrics{
+		recordsApplied: reg.Counter("wiscape_replication_records_applied_total",
+			"WAL records applied from the primary's stream.").With(),
+		resyncs: reg.Counter("wiscape_replication_resyncs_total",
+			"Snapshot bootstraps applied (first attach or forced resync).").With(),
+		reconnects: reg.Counter("wiscape_replication_reconnects_total",
+			"Stream drops followed by a redial.").With(),
+	}
+}

@@ -1,0 +1,339 @@
+package replication
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// Applier receives the replicated state on the consumer side. The
+// coordinator's implementation journals each record to the replica's own
+// WAL (at the primary's LSNs) and ingests it into the live controller, so
+// a promoted replica is immediately both durable and queryable.
+type Applier interface {
+	// Bootstrap replaces all local state with the snapshot, which covers
+	// records up to and including lsn.
+	Bootstrap(lsn uint64, snap core.Snapshot) error
+
+	// Apply applies one record. Records arrive in LSN order, each exactly
+	// once per session (reconnect replays are filtered before Apply).
+	Apply(lsn uint64, smp trace.Sample) error
+}
+
+// ReplicaOptions configures the consumer side of a replicated shard.
+type ReplicaOptions struct {
+	// ID names this replica to the primary (acked offsets are tracked per
+	// ID across reconnects). Default "replica".
+	ID string
+
+	// From is the first LSN to request: a warm restart passes its local
+	// store's LastLSN()+1 to resume tailing. Zero (or ForceSnapshot)
+	// requests a snapshot bootstrap.
+	From uint64
+
+	// ForceSnapshot requests a fresh snapshot bootstrap regardless of
+	// From — the demotion/rejoin path, where local state may have diverged
+	// from the new primary and must be discarded wholesale.
+	ForceSnapshot bool
+
+	// DialTimeout bounds one connection attempt. Default 2s.
+	DialTimeout time.Duration
+
+	// Backoff shapes redial delays; the zero value uses 50ms base, 2s cap.
+	Backoff rng.Backoff
+
+	// Seed drives the deterministic redial jitter.
+	Seed uint64
+
+	// Telemetry receives replication metrics (catch-up lag gauge
+	// included); nil disables instrumentation.
+	Telemetry *telemetry.Registry
+
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (o *ReplicaOptions) fill() {
+	if o.ID == "" {
+		o.ID = "replica"
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.Backoff == (rng.Backoff{}) {
+		o.Backoff = rng.Backoff{Base: 50 * time.Millisecond, Max: 2 * time.Second}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// Status is a replica's replication progress at a glance.
+type Status struct {
+	Connected  bool   `json:"connected"`
+	AppliedLSN uint64 `json:"applied_lsn"`
+	PrimaryLSN uint64 `json:"primary_lsn"`
+	// Lag is PrimaryLSN - AppliedLSN as last observed: the catch-up
+	// distance in records.
+	Lag        uint64 `json:"lag_records"`
+	Resyncs    uint64 `json:"resyncs"`
+	Reconnects uint64 `json:"reconnects"`
+}
+
+// Replica tails a primary's log, applying snapshot bootstraps and records
+// through the Applier and acknowledging applied offsets. It redials with
+// jittered backoff until Close.
+type Replica struct {
+	primary string
+	ap      Applier
+	opts    ReplicaOptions
+	met     replicaMetrics
+
+	applied    atomic.Uint64
+	primaryLSN atomic.Uint64
+	connected  atomic.Bool
+	resyncs    atomic.Uint64
+	reconnects atomic.Uint64
+
+	mu     sync.Mutex
+	nc     net.Conn // current conn, severed by Close
+	closed bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// StartReplica begins replicating from the primary's replication address.
+func StartReplica(primaryAddr string, ap Applier, opts ReplicaOptions) *Replica {
+	opts.fill()
+	r := &Replica{
+		primary: primaryAddr,
+		ap:      ap,
+		opts:    opts,
+		stop:    make(chan struct{}),
+	}
+	if opts.From > 0 && !opts.ForceSnapshot {
+		r.applied.Store(opts.From - 1)
+	}
+	r.met = newReplicaMetrics(opts.Telemetry, r.Status)
+	r.wg.Add(1)
+	go r.run()
+	return r
+}
+
+// Status reports current replication progress.
+func (r *Replica) Status() Status {
+	applied := r.applied.Load()
+	primary := r.primaryLSN.Load()
+	var lag uint64
+	if primary > applied {
+		lag = primary - applied
+	}
+	return Status{
+		Connected:  r.connected.Load(),
+		AppliedLSN: applied,
+		PrimaryLSN: primary,
+		Lag:        lag,
+		Resyncs:    r.resyncs.Load(),
+		Reconnects: r.reconnects.Load(),
+	}
+}
+
+// Close stops replicating. Idempotent; safe to call from any goroutine.
+func (r *Replica) Close() error {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.mu.Lock()
+	r.closed = true
+	nc := r.nc
+	r.nc = nil
+	r.mu.Unlock()
+	if nc != nil {
+		_ = nc.Close()
+	}
+	r.wg.Wait()
+	return nil
+}
+
+// run is the replica's whole life: dial, stream, backoff, redial.
+func (r *Replica) run() {
+	defer r.wg.Done()
+	jitter := rng.NewNamed(r.opts.Seed, "replication-"+r.opts.ID)
+	forceSnapshot := r.opts.ForceSnapshot || r.opts.From == 0
+	attempt := 0
+	for {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		err := r.session(forceSnapshot)
+		if err == nil {
+			return // Close severed us cleanly
+		}
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		// After a successful bootstrap the session tracks its own offset;
+		// reconnects resume from what was applied.
+		if r.applied.Load() > 0 {
+			forceSnapshot = false
+		}
+		r.reconnects.Add(1)
+		r.met.reconnects.Inc()
+		r.opts.Logf("replication: %s: stream to %s lost (%v), redialing", r.opts.ID, r.primary, err)
+		t := time.NewTimer(r.opts.Backoff.Delay(attempt, jitter))
+		select {
+		case <-t.C:
+		case <-r.stop:
+			t.Stop()
+			return
+		}
+		attempt++
+	}
+}
+
+// session runs one connected stream until it fails or Close severs it.
+// A nil return means the replica is shutting down.
+func (r *Replica) session(forceSnapshot bool) error {
+	nc, err := net.DialTimeout("tcp", r.primary, r.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		_ = nc.Close()
+		return nil
+	}
+	r.nc = nc
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		if r.nc == nc {
+			r.nc = nil
+		}
+		r.mu.Unlock()
+		_ = nc.Close()
+	}()
+
+	br := bufio.NewReaderSize(nc, 256<<10)
+	bw := bufio.NewWriterSize(nc, 16<<10)
+
+	from := uint64(0)
+	if !forceSnapshot {
+		from = r.applied.Load() + 1
+	}
+	if err := writeFrame(bw, frameHello, encodeHello(hello{from: from, id: r.opts.ID})); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	r.connected.Store(true)
+	defer r.connected.Store(false)
+
+	for {
+		typ, payload, err := readFrame(br, maxSnapshotFrameBytes)
+		if err != nil {
+			if r.isClosed() {
+				return nil
+			}
+			return err
+		}
+		switch typ {
+		case frameSnapshot:
+			lsn, body, err := decodeSnapshot(payload)
+			if err != nil {
+				return err
+			}
+			snap, err := core.ReadSnapshot(bytes.NewReader(body))
+			if err != nil {
+				return fmt.Errorf("decoding snapshot: %w", err)
+			}
+			if err := r.ap.Bootstrap(lsn, snap); err != nil {
+				return fmt.Errorf("applying snapshot: %w", err)
+			}
+			r.applied.Store(lsn)
+			if lsn > r.primaryLSN.Load() {
+				r.primaryLSN.Store(lsn)
+			}
+			r.resyncs.Add(1)
+			r.met.resyncs.Inc()
+			r.opts.Logf("replication: %s: bootstrapped from snapshot at LSN %d (%d zones)", r.opts.ID, lsn, len(snap.Entries))
+			if err := r.sendAck(bw, lsn); err != nil {
+				return err
+			}
+
+		case frameRecords:
+			recs, err := decodeRecords(payload)
+			if err != nil {
+				return err
+			}
+			applied := r.applied.Load()
+			for _, rec := range recs {
+				if rec.lsn <= applied {
+					continue // replayed across a reconnect seam
+				}
+				var smp trace.Sample
+				if err := json.Unmarshal(rec.body, &smp); err != nil {
+					return fmt.Errorf("decoding record %d: %w", rec.lsn, err)
+				}
+				if err := r.ap.Apply(rec.lsn, smp); err != nil {
+					return fmt.Errorf("applying record %d: %w", rec.lsn, err)
+				}
+				applied = rec.lsn
+				r.met.recordsApplied.Inc()
+			}
+			r.applied.Store(applied)
+			if applied > r.primaryLSN.Load() {
+				r.primaryLSN.Store(applied)
+			}
+			if err := r.sendAck(bw, applied); err != nil {
+				return err
+			}
+
+		case frameHeartbeat:
+			lsn, err := decodeU64(payload)
+			if err != nil {
+				return err
+			}
+			r.primaryLSN.Store(lsn)
+			if err := r.sendAck(bw, r.applied.Load()); err != nil {
+				return err
+			}
+
+		case frameReject:
+			return fmt.Errorf("rejected by source: %s", payload)
+
+		default:
+			return errors.New("replication: unexpected frame type")
+		}
+	}
+}
+
+func (r *Replica) sendAck(bw *bufio.Writer, lsn uint64) error {
+	if err := writeFrame(bw, frameAck, encodeU64(lsn)); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (r *Replica) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}

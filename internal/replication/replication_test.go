@@ -1,0 +1,286 @@
+package replication
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/radio"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+var start = time.Date(2011, 4, 1, 12, 0, 0, 0, time.UTC)
+
+func testSample(i int) trace.Sample {
+	return trace.Sample{
+		Time:     start.Add(time.Duration(i) * time.Second),
+		Loc:      geo.Point{Lat: 43.07, Lon: -89.4 + float64(i)*1e-4},
+		Network:  radio.NetworkID("evdo-a"),
+		Metric:   trace.MetricTCPKbps,
+		Value:    100 + float64(i),
+		ClientID: "bus-17",
+	}
+}
+
+// memApplier records everything the replica applies, standing in for the
+// coordinator's WAL+controller pair.
+type memApplier struct {
+	mu      sync.Mutex
+	bootLSN uint64
+	boots   int
+	applied []uint64
+}
+
+func (m *memApplier) Bootstrap(lsn uint64, snap core.Snapshot) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bootLSN = lsn
+	m.boots++
+	m.applied = nil
+	return nil
+}
+
+func (m *memApplier) Apply(lsn uint64, smp trace.Sample) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.applied = append(m.applied, lsn)
+	return nil
+}
+
+func (m *memApplier) snapshot() (bootLSN uint64, boots int, applied []uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bootLSN, m.boots, append([]uint64(nil), m.applied...)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func openStore(t *testing.T, opts store.Options) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	return st
+}
+
+func startSource(t *testing.T, st *store.Store, opts SourceOptions) *Source {
+	t.Helper()
+	src, err := NewSource(st, "127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = src.Close() })
+	return src
+}
+
+func TestStreamFromEmptyAndTail(t *testing.T) {
+	st := openStore(t, store.Options{})
+	src := startSource(t, st, SourceOptions{})
+
+	ap := &memApplier{}
+	r := StartReplica(src.Addr(), ap, ReplicaOptions{ID: "r1"})
+	defer r.Close()
+
+	// Fresh replica on an empty primary: an empty snapshot at LSN 0, then
+	// records as they are appended.
+	waitFor(t, 5*time.Second, "bootstrap", func() bool {
+		_, boots, _ := ap.snapshot()
+		return boots == 1
+	})
+	for i := 0; i < 25; i++ {
+		if _, err := st.Append(testSample(i)); err != nil {
+			t.Fatal(err)
+		}
+		src.Notify()
+	}
+	waitFor(t, 5*time.Second, "25 applied records", func() bool {
+		_, _, applied := ap.snapshot()
+		return len(applied) == 25
+	})
+	_, _, applied := ap.snapshot()
+	for i, lsn := range applied {
+		if lsn != uint64(i+1) {
+			t.Fatalf("applied[%d] = LSN %d, want %d", i, lsn, i+1)
+		}
+	}
+	waitFor(t, 5*time.Second, "ack at 25", func() bool {
+		return r.Status().AppliedLSN == 25 && src.WaitCommitted(25, time.Second)
+	})
+}
+
+func TestSnapshotBootstrapSkipsCheckpointedHistory(t *testing.T) {
+	st := openStore(t, store.Options{})
+	for i := 0; i < 40; i++ {
+		if _, err := st.Append(testSample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := core.Snapshot{TakenAt: start, Origin: geo.Madison().Center()}
+	if err := st.Checkpoint(snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 50; i++ {
+		if _, err := st.Append(testSample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := startSource(t, st, SourceOptions{})
+
+	ap := &memApplier{}
+	r := StartReplica(src.Addr(), ap, ReplicaOptions{ID: "r1"})
+	defer r.Close()
+
+	waitFor(t, 5*time.Second, "bootstrap + tail", func() bool {
+		_, boots, applied := ap.snapshot()
+		return boots == 1 && len(applied) == 10
+	})
+	bootLSN, _, applied := ap.snapshot()
+	if bootLSN != 40 {
+		t.Fatalf("bootstrapped at LSN %d, want 40 (the checkpoint)", bootLSN)
+	}
+	if applied[0] != 41 || applied[len(applied)-1] != 50 {
+		t.Fatalf("tail applied %v, want 41..50", applied)
+	}
+}
+
+func TestWarmRestartResumesFromOffset(t *testing.T) {
+	st := openStore(t, store.Options{})
+	for i := 0; i < 30; i++ {
+		if _, err := st.Append(testSample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := startSource(t, st, SourceOptions{})
+
+	// A replica that already holds LSNs 1..20 asks for 21 and gets no
+	// snapshot, only the missing tail.
+	ap := &memApplier{}
+	r := StartReplica(src.Addr(), ap, ReplicaOptions{ID: "r1", From: 21})
+	defer r.Close()
+
+	waitFor(t, 5*time.Second, "10 tail records", func() bool {
+		_, boots, applied := ap.snapshot()
+		return boots == 0 && len(applied) == 10
+	})
+	_, _, applied := ap.snapshot()
+	if applied[0] != 21 || applied[9] != 30 {
+		t.Fatalf("resumed tail %v, want 21..30", applied)
+	}
+}
+
+func TestCompactedOffsetForcesResync(t *testing.T) {
+	// The replica asks for history the primary already compacted away; the
+	// source must answer with a snapshot, not an error or silence.
+	st := openStore(t, store.Options{SegmentMaxBytes: 512, CheckpointKeep: 1})
+	for i := 0; i < 40; i++ {
+		if _, err := st.Append(testSample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Checkpoint(core.Snapshot{TakenAt: start}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 45; i++ {
+		if _, err := st.Append(testSample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := startSource(t, st, SourceOptions{})
+
+	ap := &memApplier{}
+	r := StartReplica(src.Addr(), ap, ReplicaOptions{ID: "r1", From: 2})
+	defer r.Close()
+
+	waitFor(t, 5*time.Second, "resync bootstrap", func() bool {
+		bootLSN, boots, applied := ap.snapshot()
+		return boots == 1 && bootLSN == 40 && len(applied) == 5
+	})
+	if st := r.Status(); st.Resyncs != 1 {
+		t.Fatalf("replica counted %d resyncs, want 1", st.Resyncs)
+	}
+}
+
+func TestSuspendResumeReconnects(t *testing.T) {
+	st := openStore(t, store.Options{})
+	src := startSource(t, st, SourceOptions{})
+
+	ap := &memApplier{}
+	r := StartReplica(src.Addr(), ap, ReplicaOptions{ID: "r1"})
+	defer r.Close()
+	waitFor(t, 5*time.Second, "initial attach", func() bool {
+		return src.ConnectedReplicas() == 1
+	})
+
+	// Primary "dies": the stream severs and the replica keeps redialing.
+	src.Suspend()
+	waitFor(t, 5*time.Second, "stream severed", func() bool {
+		return src.ConnectedReplicas() == 0 && !r.Status().Connected
+	})
+	for i := 0; i < 5; i++ {
+		if _, err := st.Append(testSample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Primary returns on the same address; the replica reattaches and
+	// catches up on what it missed.
+	if err := src.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "catch-up after resume", func() bool {
+		_, _, applied := ap.snapshot()
+		return len(applied) == 5 && r.Status().AppliedLSN == 5
+	})
+	if st := r.Status(); st.Reconnects == 0 {
+		t.Fatal("replica should have counted at least one reconnect")
+	}
+}
+
+func TestWaitCommittedTimesOutWithoutReplicas(t *testing.T) {
+	st := openStore(t, store.Options{})
+	src := startSource(t, st, SourceOptions{})
+	if _, err := st.Append(testSample(0)); err != nil {
+		t.Fatal(err)
+	}
+	if src.WaitCommitted(1, 50*time.Millisecond) {
+		t.Fatal("WaitCommitted succeeded with no replica attached")
+	}
+}
+
+func TestReplicasReportsAckedOffsets(t *testing.T) {
+	st := openStore(t, store.Options{})
+	for i := 0; i < 10; i++ {
+		if _, err := st.Append(testSample(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := startSource(t, st, SourceOptions{})
+	ap := &memApplier{}
+	r := StartReplica(src.Addr(), ap, ReplicaOptions{ID: "r-east"})
+	defer r.Close()
+
+	waitFor(t, 5*time.Second, "acked offset visible", func() bool {
+		for _, ri := range src.Replicas() {
+			if ri.ID == "r-east" && ri.AckedLSN == 10 && ri.Connected {
+				return true
+			}
+		}
+		return false
+	})
+}

@@ -1,0 +1,496 @@
+package replication
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+	"repro/internal/telemetry"
+)
+
+// SourceOptions configures the primary side of a replicated shard.
+type SourceOptions struct {
+	// PollInterval bounds how stale a stream can go when no Notify arrives
+	// (the source also polls the store on this cadence). Default 25ms.
+	PollInterval time.Duration
+
+	// HeartbeatInterval is how often an idle stream still tells replicas
+	// the primary's last LSN, keeping lag observable. Default 500ms.
+	HeartbeatInterval time.Duration
+
+	// Snapshot, when set, produces a consistent live snapshot and the LSN
+	// it covers — the coordinator's locked capture. When nil, bootstraps
+	// fall back to the store's newest durable checkpoint (or an empty
+	// snapshot at LSN 0 for a store that has never checkpointed).
+	Snapshot func() (core.Snapshot, uint64)
+
+	// Telemetry receives replication metrics; nil disables instrumentation.
+	Telemetry *telemetry.Registry
+
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (o *SourceOptions) fill() {
+	if o.PollInterval <= 0 {
+		o.PollInterval = 25 * time.Millisecond
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+}
+
+// ReplicaInfo is one replica's replication state as the primary sees it.
+type ReplicaInfo struct {
+	ID        string `json:"id"`
+	AckedLSN  uint64 `json:"acked_lsn"`
+	Connected bool   `json:"connected"`
+}
+
+// replicaConn is one attached replica stream.
+type replicaConn struct {
+	id   string
+	nc   net.Conn
+	wake chan struct{} // collapsed append notifications
+}
+
+// commitWaiter parks one WaitCommitted call until some replica acks lsn.
+type commitWaiter struct {
+	lsn uint64
+	ch  chan struct{}
+}
+
+// Source serves a shard's WAL to replicas. It reads the store directly —
+// appends, rotations and compactions proceed concurrently — so attaching a
+// replica never stalls the ingest path.
+type Source struct {
+	st   *store.Store
+	opts SourceOptions
+	met  sourceMetrics
+	addr string // first bound address; stable across Suspend/Resume
+
+	mu        sync.Mutex
+	ln        net.Listener
+	conns     map[*replicaConn]struct{}
+	acked     map[string]uint64 // per replica id, survives reconnects
+	waiters   []commitWaiter
+	suspended bool
+	closed    bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewSource starts a replication listener on addr serving st's log.
+func NewSource(st *store.Store, addr string, opts SourceOptions) (*Source, error) {
+	opts.fill()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("replication: source listen %s: %w", addr, err)
+	}
+	s := &Source{
+		st:    st,
+		opts:  opts,
+		ln:    ln,
+		addr:  ln.Addr().String(),
+		conns: make(map[*replicaConn]struct{}),
+		acked: make(map[string]uint64),
+		stop:  make(chan struct{}),
+	}
+	s.met = newSourceMetrics(opts.Telemetry, s.ConnectedReplicas)
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return s, nil
+}
+
+// Addr returns the replication listener's bound address.
+func (s *Source) Addr() string { return s.addr }
+
+// Notify wakes every attached stream: call it after appending to the store
+// so replication latency is bounded by the network, not the poll interval.
+// The wake channels are buffered and sent to outside the lock, so a slow
+// stream can never stall the appender.
+func (s *Source) Notify() {
+	s.mu.Lock()
+	wakes := make([]chan struct{}, 0, len(s.conns))
+	for rc := range s.conns {
+		wakes = append(wakes, rc.wake)
+	}
+	s.mu.Unlock()
+	for _, w := range wakes {
+		select {
+		case w <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ConnectedReplicas returns the number of attached replica streams.
+func (s *Source) ConnectedReplicas() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Replicas returns per-replica replication state: every replica ever
+// acked (offsets survive reconnects) plus its current connection state.
+func (s *Source) Replicas() []ReplicaInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	connected := make(map[string]bool, len(s.conns))
+	for rc := range s.conns {
+		connected[rc.id] = true
+	}
+	out := make([]ReplicaInfo, 0, len(s.acked))
+	for id, lsn := range s.acked {
+		out = append(out, ReplicaInfo{ID: id, AckedLSN: lsn, Connected: connected[id]})
+	}
+	return out
+}
+
+// WaitCommitted blocks until some replica has acknowledged lsn (or a later
+// record), reporting false on timeout or source shutdown. This is the
+// semi-synchronous ack primitive: a primary that waits here before acking
+// an agent guarantees the sample survives its own death.
+func (s *Source) WaitCommitted(lsn uint64, timeout time.Duration) bool {
+	s.mu.Lock()
+	if s.maxAckedLocked() >= lsn {
+		s.mu.Unlock()
+		return true
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	w := commitWaiter{lsn: lsn, ch: make(chan struct{})}
+	s.waiters = append(s.waiters, w)
+	s.mu.Unlock()
+
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-w.ch:
+		return true
+	case <-t.C:
+		return false
+	case <-s.stop:
+		return false
+	}
+}
+
+func (s *Source) maxAckedLocked() uint64 {
+	var mx uint64
+	for _, lsn := range s.acked {
+		if lsn > mx {
+			mx = lsn
+		}
+	}
+	return mx
+}
+
+// recordAck stores a replica's applied offset and releases satisfied
+// commit waiters.
+func (s *Source) recordAck(id string, lsn uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if lsn <= s.acked[id] {
+		return
+	}
+	s.acked[id] = lsn
+	mx := s.maxAckedLocked()
+	kept := s.waiters[:0]
+	for _, w := range s.waiters {
+		if w.lsn <= mx {
+			close(w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	s.waiters = kept
+}
+
+// Suspend severs every replica stream and stops accepting new ones,
+// simulating primary death for the chaos harness without tearing down the
+// process. Resume undoes it.
+func (s *Source) Suspend() {
+	s.mu.Lock()
+	if s.suspended || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.suspended = true
+	ln := s.ln
+	s.ln = nil
+	conns := s.takeConnsLocked()
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, nc := range conns {
+		_ = nc.Close()
+	}
+}
+
+// Resume re-opens the replication listener on the original address after a
+// Suspend.
+func (s *Source) Resume() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if !s.suspended {
+		s.mu.Unlock()
+		return nil
+	}
+	addr := s.addr
+	s.mu.Unlock()
+	// Listen outside the lock (lockio: binds can block), then re-check the
+	// state we released it in — a concurrent Close or double Resume loses.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("replication: source re-listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed || !s.suspended {
+		closed := s.closed
+		s.mu.Unlock()
+		_ = ln.Close()
+		if closed {
+			return ErrClosed
+		}
+		return nil
+	}
+	s.suspended = false
+	s.ln = ln
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// takeConnsLocked empties the conn set and returns the raw conns so the
+// caller can close them after releasing s.mu (net.Conn.Close can block).
+func (s *Source) takeConnsLocked() []net.Conn {
+	conns := make([]net.Conn, 0, len(s.conns))
+	for rc := range s.conns {
+		conns = append(conns, rc.nc)
+	}
+	clear(s.conns)
+	return conns
+}
+
+// Close stops the source and severs every stream. Idempotent.
+func (s *Source) Close() error {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	s.ln = nil
+	conns := s.takeConnsLocked()
+	for _, w := range s.waiters {
+		close(w.ch)
+	}
+	s.waiters = nil
+	s.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, nc := range conns {
+		_ = nc.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Source) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			// Closed by Suspend or Close; either way this loop is done
+			// (Resume starts a fresh one).
+			return
+		}
+		s.wg.Add(1)
+		go s.serve(nc)
+	}
+}
+
+// serve runs one replica stream: handshake, optional snapshot bootstrap,
+// then the record/heartbeat loop, with acks drained concurrently.
+func (s *Source) serve(nc net.Conn) {
+	defer s.wg.Done()
+	br := bufio.NewReaderSize(nc, 64<<10)
+	bw := bufio.NewWriterSize(nc, 256<<10)
+
+	typ, payload, err := readFrame(br, maxFrameBytes)
+	if err != nil || typ != frameHello {
+		_ = nc.Close()
+		return
+	}
+	h, err := decodeHello(payload)
+	if err != nil {
+		//lint:ignore errdrop best-effort refusal on a handshake already failing
+		_ = writeFrame(bw, frameReject, []byte(err.Error()))
+		//lint:ignore errdrop best-effort refusal on a handshake already failing
+		_ = bw.Flush()
+		_ = nc.Close()
+		return
+	}
+
+	rc := &replicaConn{id: h.id, nc: nc, wake: make(chan struct{}, 1)}
+	s.mu.Lock()
+	if s.closed || s.suspended {
+		s.mu.Unlock()
+		_ = nc.Close()
+		return
+	}
+	s.conns[rc] = struct{}{}
+	if _, seen := s.acked[h.id]; !seen {
+		s.acked[h.id] = 0
+	}
+	s.mu.Unlock()
+	s.met.attaches.Inc()
+	s.opts.Logf("replication: replica %s attached (from LSN %d)", h.id, h.from)
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, rc)
+		s.mu.Unlock()
+		_ = nc.Close()
+	}()
+
+	// Ack reader: one goroutine per stream, bounded by the conn itself —
+	// severing the conn (Suspend/Close/stream error) ends it.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			typ, payload, err := readFrame(br, maxFrameBytes)
+			if err != nil || typ != frameAck {
+				_ = nc.Close() // wakes the writer loop out of any blocking write
+				return
+			}
+			lsn, err := decodeU64(payload)
+			if err != nil {
+				_ = nc.Close()
+				return
+			}
+			s.recordAck(h.id, lsn)
+		}
+	}()
+
+	if err := s.stream(rc, bw, h.from); err != nil {
+		s.opts.Logf("replication: replica %s stream ended: %v", h.id, err)
+	}
+}
+
+// stream ships the log to one replica until the conn dies or the source
+// stops. from==0 (or a compacted-away offset) bootstraps via snapshot.
+func (s *Source) stream(rc *replicaConn, bw *bufio.Writer, from uint64) error {
+	next := from
+	if next == 0 {
+		n, err := s.sendSnapshot(bw)
+		if err != nil {
+			return err
+		}
+		next = n
+	}
+	hb := time.NewTicker(s.opts.HeartbeatInterval)
+	defer hb.Stop()
+	poll := time.NewTicker(s.opts.PollInterval)
+	defer poll.Stop()
+	for {
+		batch, err := s.st.ReadBatch(next, maxRecordsPerBatch)
+		if errors.Is(err, store.ErrCompacted) {
+			// The replica's position predates retained history; restart it
+			// from a fresh snapshot (the resync path).
+			next, err = s.sendSnapshot(bw)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if len(batch) > 0 {
+			recs := make([]record, len(batch))
+			for i, e := range batch {
+				body, err := json.Marshal(e.Sample)
+				if err != nil {
+					return fmt.Errorf("encoding record %d: %w", e.LSN, err)
+				}
+				recs[i] = record{lsn: e.LSN, body: body}
+			}
+			if err := writeFrame(bw, frameRecords, encodeRecords(recs)); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			s.met.recordsShipped.Add(float64(len(batch)))
+			next = batch[len(batch)-1].LSN + 1
+			continue
+		}
+		// Caught up: wait for an append (or the poll fallback), keeping
+		// the replica's view of the primary LSN fresh via heartbeats.
+		select {
+		case <-rc.wake:
+		case <-poll.C:
+		case <-hb.C:
+			if err := writeFrame(bw, frameHeartbeat, encodeU64(s.st.LastLSN())); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case <-s.stop:
+			return nil
+		}
+	}
+}
+
+// sendSnapshot ships a bootstrap snapshot and returns the next LSN to
+// stream. Preference order: the configured live-capture hook, then the
+// store's newest durable checkpoint, then an empty snapshot at LSN 0 (a
+// primary that has never checkpointed simply replays its whole WAL).
+func (s *Source) sendSnapshot(bw *bufio.Writer) (next uint64, err error) {
+	var snap core.Snapshot
+	var lsn uint64
+	switch {
+	case s.opts.Snapshot != nil:
+		snap, lsn = s.opts.Snapshot()
+	default:
+		ck, at, err := s.st.LatestCheckpoint()
+		if err != nil {
+			return 0, err
+		}
+		if ck != nil {
+			snap, lsn = *ck, at
+		}
+	}
+	var body bytes.Buffer
+	if err := core.WriteSnapshot(&body, snap); err != nil {
+		return 0, err
+	}
+	if err := writeFrame(bw, frameSnapshot, encodeSnapshot(lsn, body.Bytes())); err != nil {
+		return 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return 0, err
+	}
+	s.met.snapshotsSent.Inc()
+	return lsn + 1, nil
+}

@@ -1,0 +1,208 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Entry is one WAL record surfaced to log readers: the sequence number the
+// primary assigned and the journaled sample.
+type Entry struct {
+	LSN    uint64
+	Sample trace.Sample
+}
+
+// ErrCompacted is returned by ReadBatch when the requested LSN predates the
+// oldest retained WAL record — compaction has deleted the segments that held
+// it. A reader that needs that history must re-bootstrap from a checkpoint
+// (LatestCheckpoint) instead of the log.
+var ErrCompacted = errors.New("store: requested records compacted away")
+
+// ReadBatch returns up to max journaled records with LSN >= from, in LSN
+// order. It is the replication source's log reader: safe to call while
+// appends, rotations and compactions are in flight.
+//
+//   - An empty batch with a nil error means the reader is caught up (from is
+//     past the newest record); poll again after more appends.
+//   - ErrCompacted means from predates the oldest retained record; the
+//     caller must restart from LatestCheckpoint.
+//
+// Consistency under concurrency: a record is written as a single line whose
+// CRC is validated here, so a read racing an in-flight append sees either
+// the whole record or stops cleanly at the torn tail — never a phantom
+// record. A segment deleted by compaction mid-scan is detected (the file
+// open fails) and reported as ErrCompacted only when the batch is still
+// empty; otherwise the partial batch is returned and the next call resolves
+// the position afresh.
+func (st *Store) ReadBatch(from uint64, max int) ([]Entry, error) {
+	if from == 0 {
+		from = 1
+	}
+	if max <= 0 {
+		max = 1024
+	}
+	segs, err := listSegments(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, nil
+	}
+	// Find the first segment that can contain from: the last segment whose
+	// first LSN is <= from. Everything before it is skipped wholesale.
+	start := 0
+	for i, sg := range segs {
+		if sg.first <= from {
+			start = i
+		}
+	}
+	if segs[start].first > from {
+		// Even the oldest retained segment starts past from: compacted.
+		return nil, ErrCompacted
+	}
+	var out []Entry
+	for _, sg := range segs[start:] {
+		done, err := scanBatch(sg.path, from, max, &out)
+		if err != nil {
+			if os.IsNotExist(err) && len(out) == 0 {
+				// Compaction deleted the segment between listing and
+				// opening; the records we wanted are gone with it.
+				return nil, ErrCompacted
+			}
+			if os.IsNotExist(err) {
+				return out, nil
+			}
+			return out, err
+		}
+		if done {
+			break
+		}
+	}
+	return out, nil
+}
+
+// scanBatch appends records with LSN >= from out of one segment into out,
+// stopping at max entries. done=true means the batch is full. Invalid
+// complete lines are skipped (recovery's rule); an incomplete tail line ends
+// the scan — it is an append in flight, not an error.
+func scanBatch(path string, from uint64, max int, out *[]Entry) (done bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	for {
+		line, consumed, complete := readLineCapped(br, maxWALLineBytes)
+		if !complete {
+			_ = consumed
+			break
+		}
+		smp, lsn, ok := parseRecordLine(line)
+		if !ok || lsn < from {
+			continue
+		}
+		*out = append(*out, Entry{LSN: lsn, Sample: smp})
+		if len(*out) >= max {
+			done = true
+			break
+		}
+	}
+	// Read-only handle; nothing durable rides on this close.
+	//lint:ignore errdrop read-only segment scan, no durability at stake
+	_ = f.Close()
+	return done, nil
+}
+
+// LatestCheckpoint returns the newest checkpoint that validates, with the
+// LSN it covers. A nil snapshot with a nil error means no valid checkpoint
+// exists yet (a fresh store).
+func (st *Store) LatestCheckpoint() (*core.Snapshot, uint64, error) {
+	cks, err := listCheckpoints(st.dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, ck := range cks {
+		snap, lsn, err := readCheckpoint(ck.path)
+		if err != nil {
+			continue // recovery's rule: fall back past corrupt checkpoints
+		}
+		return &snap, lsn, nil
+	}
+	return nil, 0, nil
+}
+
+// AppendAt journals one sample under an explicit sequence number — the
+// replica-side write path, which must preserve the primary's LSNs so a
+// promoted replica's log lines up with what the old primary acked. lsn must
+// be >= the store's next LSN (monotonic; forward gaps are allowed and
+// survive recovery, which keys off per-record LSNs).
+func (st *Store) AppendAt(lsn uint64, smp trace.Sample) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if lsn < st.nextLSN {
+		return fmt.Errorf("store: AppendAt %d behind next LSN %d", lsn, st.nextLSN)
+	}
+	st.nextLSN = lsn
+	if _, err := st.appendLocked(smp); err != nil {
+		st.met.appendErrors.Inc()
+		return err
+	}
+	return nil
+}
+
+// CheckpointAt atomically persists snap as a checkpoint covering records up
+// to and including lsn, then compacts. Unlike Checkpoint, the caller names
+// the covered LSN — required whenever the snapshot was captured at a known
+// log position (the coordinator's consistent-capture path) rather than
+// "whatever has been appended by now".
+func (st *Store) CheckpointAt(lsn uint64, snap core.Snapshot) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	return st.checkpointLocked(lsn, snap)
+}
+
+// ResetTo wipes the store — every WAL segment and checkpoint — and
+// re-seeds it with snap as a checkpoint covering lsn, with the log
+// positioned to accept lsn+1 next. This is the snapshot-bootstrap path: a
+// replica (or a demoted ex-primary resyncing) replaces its entire local
+// history with the primary's checkpoint and tails the log from there.
+func (st *Store) ResetTo(lsn uint64, snap core.Snapshot) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if err := st.f.Close(); err != nil {
+		return fmt.Errorf("store: reset: sealing active segment: %w", err)
+	}
+	segs, err := listSegments(st.dir)
+	if err != nil {
+		return err
+	}
+	cks, err := listCheckpoints(st.dir)
+	if err != nil {
+		return err
+	}
+	for _, ref := range append(segs, cks...) {
+		if err := os.Remove(ref.path); err != nil {
+			return fmt.Errorf("store: reset: %w", err)
+		}
+	}
+	st.nextLSN = lsn + 1
+	st.unsynced = 0
+	if err := st.openSegmentLocked(st.nextLSN); err != nil {
+		return err
+	}
+	return st.checkpointLocked(lsn, snap)
+}

@@ -1,0 +1,238 @@
+package store
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+)
+
+// readAll walks ReadBatch from `from` until caught up and returns the
+// collected entries.
+func readAll(t *testing.T, st *Store, from uint64, batch int) []Entry {
+	t.Helper()
+	var out []Entry
+	for {
+		es, err := st.ReadBatch(from, batch)
+		if err != nil {
+			t.Fatalf("ReadBatch(%d): %v", from, err)
+		}
+		if len(es) == 0 {
+			return out
+		}
+		out = append(out, es...)
+		from = es[len(es)-1].LSN + 1
+	}
+}
+
+func TestReadBatchTailsAcrossRotation(t *testing.T) {
+	// A segment holds only a handful of records, so 60 appends rotate the
+	// WAL several times; a reader tailing in small batches must cross every
+	// seam without losing or reordering records.
+	st, err := Open(t.TempDir(), Options{SegmentMaxBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	appendN(t, st, 0, 30)
+	got := readAll(t, st, 1, 7)
+	if len(got) != 30 {
+		t.Fatalf("read %d records, want 30", len(got))
+	}
+
+	// Tail: more appends arrive after the reader caught up; the next batch
+	// from the last-seen LSN picks them up, again across rotations.
+	appendN(t, st, 30, 30)
+	got = append(got, readAll(t, st, got[len(got)-1].LSN+1, 7)...)
+	if len(got) != 60 {
+		t.Fatalf("after tailing: %d records, want 60", len(got))
+	}
+	for i, e := range got {
+		if e.LSN != uint64(i+1) {
+			t.Fatalf("entry %d has LSN %d, want %d", i, e.LSN, i+1)
+		}
+		if !sampleEqual(e.Sample, testSample(i)) {
+			t.Fatalf("entry %d sample mismatch: %+v", i, e.Sample)
+		}
+	}
+}
+
+func TestReadBatchFromMidSegmentOffset(t *testing.T) {
+	st, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	appendN(t, st, 0, 20) // one segment; LSNs 1..20
+
+	got := readAll(t, st, 13, 100)
+	if len(got) != 8 {
+		t.Fatalf("ReadBatch from mid-segment: %d records, want 8", len(got))
+	}
+	for i, e := range got {
+		if want := uint64(13 + i); e.LSN != want {
+			t.Fatalf("entry %d: LSN %d, want %d", i, e.LSN, want)
+		}
+	}
+	// Past the end: caught up, not an error.
+	if es, err := st.ReadBatch(21, 10); err != nil || len(es) != 0 {
+		t.Fatalf("read past end: %d entries, err %v; want 0, nil", len(es), err)
+	}
+}
+
+func TestReadBatchCompactedHistory(t *testing.T) {
+	// Small segments + CheckpointKeep 1 makes compaction aggressive: after
+	// a checkpoint covering everything, early segments are deleted and a
+	// reader asking for LSN 1 must get ErrCompacted — not silence.
+	st, err := Open(t.TempDir(), Options{SegmentMaxBytes: 512, CheckpointKeep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	appendN(t, st, 0, 40)
+	if err := st.Checkpoint(core.Snapshot{TakenAt: start}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, st, 40, 5) // live tail past the checkpoint
+
+	if _, err := st.ReadBatch(1, 10); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadBatch(1) after compaction: err %v, want ErrCompacted", err)
+	}
+	// The records past the last compacted segment are still readable.
+	got := readAll(t, st, 41, 10)
+	if len(got) != 5 || got[0].LSN != 41 {
+		t.Fatalf("tail after compaction: %d records starting %d, want 5 from 41", len(got), got[0].LSN)
+	}
+	// Bootstrapping from the checkpoint + tailing covers everything.
+	snap, lsn, err := st.LatestCheckpoint()
+	if err != nil || snap == nil {
+		t.Fatalf("LatestCheckpoint: %v %v", snap, err)
+	}
+	if lsn != 40 {
+		t.Fatalf("checkpoint covers LSN %d, want 40", lsn)
+	}
+	if got := readAll(t, st, lsn+1, 10); len(got) != 5 {
+		t.Fatalf("checkpoint+tail: %d tail records, want 5", len(got))
+	}
+}
+
+func TestReadBatchRacesCompactionAndCheckpoint(t *testing.T) {
+	// The replication reader's worst case: a reader replaying from the
+	// start while the writer keeps appending and checkpointing (which
+	// compacts segments under the reader). The reader must only ever see
+	// in-order records or ErrCompacted — never a gap it silently skips.
+	st, err := Open(t.TempDir(), Options{SegmentMaxBytes: 256, CheckpointKeep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	const total = 300
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if _, err := st.Append(testSample(i)); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+			if i%50 == 49 {
+				if err := st.Checkpoint(core.Snapshot{TakenAt: start, Origin: geo.Madison().Center()}); err != nil {
+					t.Errorf("checkpoint: %v", err)
+					return
+				}
+			}
+		}
+	}()
+
+	from := uint64(1)
+	deadline := time.Now().Add(10 * time.Second)
+	for from <= total && time.Now().Before(deadline) {
+		es, err := st.ReadBatch(from, 16)
+		if errors.Is(err, ErrCompacted) {
+			// Re-bootstrap exactly as a replica would: the checkpoint's
+			// covered LSN becomes the new floor.
+			_, lsn, cerr := st.LatestCheckpoint()
+			if cerr != nil {
+				t.Fatalf("LatestCheckpoint during race: %v", cerr)
+			}
+			if lsn+1 < from {
+				t.Fatalf("checkpoint regressed below reader position: ckpt %d, reader %d", lsn, from)
+			}
+			from = lsn + 1
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ReadBatch(%d): %v", from, err)
+		}
+		for _, e := range es {
+			if e.LSN != from {
+				t.Fatalf("reader saw LSN %d, want %d (silent gap)", e.LSN, from)
+			}
+			from++
+		}
+	}
+	wg.Wait()
+	if from <= total {
+		// Writer done; one final catch-up drain must finish the log.
+		got := readAll(t, st, from, 64)
+		if len(got) == 0 || got[len(got)-1].LSN != total {
+			t.Fatalf("reader stalled at %d of %d", from-1, total)
+		}
+	}
+}
+
+func TestAppendAtAndResetTo(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, st, 0, 3) // local history the reset must wipe
+
+	snap := core.Snapshot{TakenAt: start, Origin: geo.Madison().Center()}
+	if err := st.ResetTo(100, snap); err != nil {
+		t.Fatalf("ResetTo: %v", err)
+	}
+	if got := st.LastLSN(); got != 100 {
+		t.Fatalf("LastLSN after reset: %d, want 100", got)
+	}
+	for i := 0; i < 5; i++ {
+		if err := st.AppendAt(uint64(101+i), testSample(i)); err != nil {
+			t.Fatalf("AppendAt %d: %v", 101+i, err)
+		}
+	}
+	if err := st.AppendAt(50, testSample(9)); err == nil {
+		t.Fatal("AppendAt must reject a regressing LSN")
+	}
+	// Old history is gone: the reader reports it compacted.
+	if _, err := st.ReadBatch(1, 10); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("pre-reset history: err %v, want ErrCompacted", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery sees the bootstrap checkpoint at 100 plus the tail 101..105,
+	// exactly as if the store had always lived at the primary's offsets.
+	st2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rec := st2.Recovery()
+	if rec.Snapshot == nil || rec.CheckpointLSN != 100 {
+		t.Fatalf("recovered checkpoint LSN %d (snapshot %v), want 100", rec.CheckpointLSN, rec.Snapshot != nil)
+	}
+	if len(rec.Tail) != 5 {
+		t.Fatalf("recovered %d tail samples, want 5", len(rec.Tail))
+	}
+	if next, err := st2.Append(testSample(7)); err != nil || next != 106 {
+		t.Fatalf("append after recovery: lsn %d err %v, want 106", next, err)
+	}
+}

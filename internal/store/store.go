@@ -332,7 +332,12 @@ func (st *Store) Checkpoint(snap core.Snapshot) error {
 	if st.closed {
 		return ErrClosed
 	}
-	lsn := st.nextLSN - 1
+	return st.checkpointLocked(st.nextLSN-1, snap)
+}
+
+// checkpointLocked persists snap covering lsn and compacts; the caller
+// holds st.mu.
+func (st *Store) checkpointLocked(lsn uint64, snap core.Snapshot) error {
 	t0 := time.Now()
 	if err := writeCheckpoint(st.dir, lsn, snap); err != nil {
 		return err

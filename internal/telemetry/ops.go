@@ -21,6 +21,13 @@ type OpsOptions struct {
 	// /healthz is pure liveness and always returns 200 while serving.
 	Ready func() bool
 
+	// Status, when set, supersedes Ready with a richer /readyz: ok selects
+	// the status code (200/503) and detail becomes the body, so a probe can
+	// distinguish "ok" from "degraded: region served by replica" without a
+	// separate endpoint. Degraded-but-serving states return 200 — readiness
+	// gates routing, and a degraded tier still serves.
+	Status func() (ok bool, detail string)
+
 	// Logf receives server diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -80,6 +87,18 @@ func NewOpsServer(addr string, opts OpsOptions) (*OpsServer, error) {
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if opts.Status != nil {
+			ok, detail := opts.Status()
+			if detail == "" {
+				detail = "ok"
+			}
+			if !ok {
+				http.Error(w, detail, http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, detail)
+			return
+		}
 		if opts.Ready != nil && !opts.Ready() {
 			http.Error(w, "not ready", http.StatusServiceUnavailable)
 			return

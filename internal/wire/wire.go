@@ -39,6 +39,15 @@ const (
 	TypeZoneListRequest MsgType = "zone_list_request"
 	TypeZoneListReply   MsgType = "zone_list_reply"
 	TypeError           MsgType = "error"
+
+	// Cluster-control messages: the gateway (never an agent) interrogates
+	// and re-roles shard coordinators during failover.
+	TypeStatusRequest MsgType = "status_request"
+	TypeStatusReply   MsgType = "status_reply"
+	TypePromote       MsgType = "promote"
+	TypePromoteAck    MsgType = "promote_ack"
+	TypeDemote        MsgType = "demote"
+	TypeDemoteAck     MsgType = "demote_ack"
 )
 
 // Hello introduces a client. DeviceClass groups hardware with comparable
@@ -128,6 +137,70 @@ type ErrorMsg struct {
 	Message string `json:"message"`
 }
 
+// Replication roles a coordinator can hold.
+const (
+	RolePrimary = "primary"
+	RoleReplica = "replica"
+)
+
+// StatusRequest asks a coordinator for its replication role and progress.
+// The gateway polls this to pick the freshest replica at promotion time and
+// to detect stale primaries that must be demoted.
+type StatusRequest struct{}
+
+// ReplicaState is one attached replica as its primary sees it.
+type ReplicaState struct {
+	ID        string `json:"id"`
+	AckedLSN  uint64 `json:"acked_lsn"`
+	Connected bool   `json:"connected"`
+}
+
+// StatusReply reports a coordinator's replication position. A primary
+// fills LastLSN, ReplAddr and Replicas; a replica fills AppliedLSN,
+// PrimaryLSN and LagRecords.
+type StatusReply struct {
+	ServerID   string         `json:"server_id"`
+	Role       string         `json:"role"`
+	Epoch      uint64         `json:"epoch"`
+	LastLSN    uint64         `json:"last_lsn"`
+	AppliedLSN uint64         `json:"applied_lsn,omitempty"`
+	PrimaryLSN uint64         `json:"primary_lsn,omitempty"`
+	LagRecords uint64         `json:"lag_records"`
+	ReplAddr   string         `json:"repl_addr,omitempty"`
+	Replicas   []ReplicaState `json:"replicas,omitempty"`
+}
+
+// Promote orders a replica to become primary at the given routing epoch.
+// The coordinator stops tailing, opens its replication listener, and starts
+// accepting writes.
+type Promote struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// PromoteAck confirms the role switch, reporting the new primary's
+// replication listener address (for demoted peers to resync from) and its
+// last LSN at promotion.
+type PromoteAck struct {
+	ServerID string `json:"server_id"`
+	Epoch    uint64 `json:"epoch"`
+	LastLSN  uint64 `json:"last_lsn"`
+	ReplAddr string `json:"repl_addr,omitempty"`
+}
+
+// Demote orders a (possibly stale) primary to stand down and resync as a
+// replica of PrimaryReplAddr, discarding divergent local state via a fresh
+// snapshot bootstrap.
+type Demote struct {
+	Epoch           uint64 `json:"epoch"`
+	PrimaryReplAddr string `json:"primary_repl_addr"`
+}
+
+// DemoteAck confirms the stand-down.
+type DemoteAck struct {
+	ServerID string `json:"server_id"`
+	Epoch    uint64 `json:"epoch"`
+}
+
 // Via marks an envelope as forwarded by an intermediary tier (the cluster
 // gateway), so shard coordinators can tell relayed traffic from direct
 // agent connections in logs and telemetry. Agents never set it.
@@ -157,6 +230,13 @@ type Envelope struct {
 	ZoneListRequest *ZoneListRequest `json:"zone_list_request,omitempty"`
 	ZoneListReply   *ZoneListReply   `json:"zone_list_reply,omitempty"`
 	Error           *ErrorMsg        `json:"error,omitempty"`
+
+	StatusRequest *StatusRequest `json:"status_request,omitempty"`
+	StatusReply   *StatusReply   `json:"status_reply,omitempty"`
+	Promote       *Promote       `json:"promote,omitempty"`
+	PromoteAck    *PromoteAck    `json:"promote_ack,omitempty"`
+	Demote        *Demote        `json:"demote,omitempty"`
+	DemoteAck     *DemoteAck     `json:"demote_ack,omitempty"`
 }
 
 // MaxMessageBytes caps a single wire message. Sample reports dominate; at

@@ -3,7 +3,7 @@
 # detector (the store/coordinator shutdown paths are race-sensitive).
 GO ?= go
 
-.PHONY: all vet lint lint-baseline lint-sarif build test race ci bench bench-ingest bench-gateway bench-sketch swarm-smoke failover-smoke fuzz
+.PHONY: all vet lint lint-stats lint-baseline lint-sarif build test race ci bench bench-ingest bench-gateway bench-sketch swarm-smoke failover-smoke fuzz
 
 all: vet lint build test
 
@@ -11,11 +11,15 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own invariant gate: nodeterm, lockio, nilsafemetric,
-# wirebound, goleak and errdrop over every module package (see DESIGN.md
-# "Static analysis"). The checked-in baseline suppresses the accepted
-# debt list; anything new fails the build.
+# wirebound, goleak, errdrop, lockorder and taintalloc over every module
+# package (see DESIGN.md "Static analysis"). The checked-in baseline
+# suppresses the accepted debt list; anything new fails the build.
 lint:
 	$(GO) run ./cmd/wiscape-lint -baseline lint-baseline.json ./...
+
+# Same gate with the per-analyzer timing table on stderr.
+lint-stats:
+	$(GO) run ./cmd/wiscape-lint -stats -baseline lint-baseline.json ./...
 
 # Regenerate the accepted-findings ledger from the current tree. Run this
 # deliberately — after fixing a baselined finding (to shrink the ledger)
@@ -38,11 +42,14 @@ race:
 
 ci: vet lint build race
 
-# Short-burst coverage-guided fuzz of the wire decoder and the sketch
-# serializer (checked-in corpora under */testdata/fuzz seed both).
+# Short-burst coverage-guided fuzz of the wire decoder, the sketch
+# serializer, and the replication frame codec (checked-in corpora under
+# */testdata/fuzz seed the first two; the frame fuzzer seeds all six
+# frame types programmatically).
 fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/wire
 	$(GO) test -fuzz=FuzzSketchRoundTrip -fuzztime=30s ./internal/sketch
+	$(GO) test -fuzz=FuzzFrameRoundTrip -fuzztime=30s ./internal/replication
 
 # All benchmarks, repo-wide, without re-running unit tests alongside them.
 bench:

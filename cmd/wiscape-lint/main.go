@@ -1,19 +1,24 @@
 // wiscape-lint is the repository's invariant gate: it runs the
 // internal/analysis suite (nodeterm, lockio, nilsafemetric, wirebound,
-// goleak, errdrop) over module packages and exits non-zero on any
-// finding.
+// goleak, errdrop, lockorder, taintalloc) over module packages and
+// exits non-zero on any finding.
 //
 // Usage:
 //
-//	wiscape-lint [-only a,b] [-list] [-json|-sarif] [-baseline FILE] [-write-baseline FILE] [packages]
+//	wiscape-lint [-only a,b] [-list] [-json|-sarif] [-baseline FILE] [-write-baseline FILE] [-stats] [packages]
 //
 // Packages are import paths or the pattern ./... (the default), which
 // walks every package in the enclosing module. The run is two-pass:
 // every requested package is loaded and type-checked first, a facts
 // table (may-block, returns-IO-error, shutdown-signal, WaitGroup
-// accounting) is computed over the whole load to a fixed point, and only
-// then do the analyzers run — so goleak, errdrop and lockio see through
-// calls into other functions and other packages.
+// accounting, lock-acquisition order, tainted lengths) is computed over
+// the whole load to a fixed point, and only then do the analyzers run —
+// so the facts-aware analyzers see through calls into other functions
+// and other packages. Loading is sequential; analysis fans out over a
+// bounded worker pool (one job per package) with findings merged in
+// request order, so output stays byte-identical run to run. -stats
+// prints the load/facts/analyze wall times and cumulative per-analyzer
+// cost to stderr.
 //
 // Findings are suppressed by a "//lint:ignore <analyzer> <reason>"
 // comment on the offending line or the line above; the reason is
@@ -35,8 +40,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/lintout"
@@ -56,6 +65,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log on stdout")
 	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file; report only new ones")
 	writeBaseline := fs.String("write-baseline", "", "write a baseline accepting the current findings to this file, then exit")
+	stats := fs.Bool("stats", false, "print load/facts/analyze wall time and per-analyzer cost to stderr")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -105,12 +115,16 @@ func run(argv []string, stdout, stderr io.Writer) int {
 
 	// Pass 1: load and type-check every requested package, surfacing
 	// parse errors as positioned diagnostics rather than silently
-	// analyzing files with holes in them.
+	// analyzing files with holes in them. Loading stays sequential: the
+	// loader memoizes recursively and is not safe for concurrent use,
+	// and the shared dependency packages mean most of the parse/check
+	// work is done once no matter the order.
 	ld := load.New()
 	ld.ModulePath = modPath
 	ld.ModuleDir = modDir
 
 	exit := 0
+	loadStart := time.Now()
 	var targets []*load.Package
 	for _, pkgPath := range pkgPaths {
 		p, err := ld.Load(pkgPath)
@@ -125,6 +139,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 		targets = append(targets, p)
 	}
+	loadDur := time.Since(loadStart)
 
 	// Pass 2: compute interprocedural facts over the whole load (the
 	// requested packages plus every module-local package they pulled in),
@@ -133,43 +148,95 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	for _, p := range ld.Packages() {
 		infos = append(infos, &analysis.PackageInfo{Files: p.Files, Pkg: p.Pkg, Info: p.Info})
 	}
+	factsStart := time.Now()
 	facts := analysis.ComputeFacts(infos)
+	factsDur := time.Since(factsStart)
+
+	// Analysis fans out across packages: the Facts table is read-only
+	// after ComputeFacts and token.FileSet positions are internally
+	// locked, so passes only share immutable state. Findings and errors
+	// land in per-target slots and are merged in request order, keeping
+	// output deterministic regardless of scheduling.
+	analyzeStart := time.Now()
+	perTarget := make([][]lintout.Finding, len(targets))
+	perTargetErrs := make([][]string, len(targets))
+	analyzerNS := make([]int64, len(analyzers))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range jobs {
+				p := targets[ti]
+				for ai, a := range analyzers {
+					a := a
+					pass := &analysis.Pass{
+						Analyzer:  a,
+						Fset:      ld.Fset,
+						Files:     p.Files,
+						Pkg:       p.Pkg,
+						TypesInfo: p.Info,
+						Facts:     facts,
+						Report: func(d analysis.Diagnostic) {
+							if analysis.Suppressed(ld.Fset, p.Files, a.Name, d.Pos) {
+								return
+							}
+							pos := ld.Fset.Position(d.Pos)
+							file, err := filepath.Rel(modDir, pos.Filename)
+							if err != nil {
+								file = pos.Filename
+							}
+							perTarget[ti] = append(perTarget[ti], lintout.Finding{
+								Analyzer: a.Name,
+								File:     filepath.ToSlash(file),
+								Line:     pos.Line,
+								Col:      pos.Column,
+								Message:  d.Message,
+							})
+						},
+					}
+					start := time.Now()
+					err := a.Run(pass)
+					atomic.AddInt64(&analyzerNS[ai], int64(time.Since(start)))
+					if err != nil {
+						perTargetErrs[ti] = append(perTargetErrs[ti],
+							fmt.Sprintf("wiscape-lint: %s on %s: %v", a.Name, p.Path, err))
+					}
+				}
+			}
+		}()
+	}
+	for ti := range targets {
+		jobs <- ti
+	}
+	close(jobs)
+	wg.Wait()
+	analyzeDur := time.Since(analyzeStart)
 
 	var findings []lintout.Finding
-	for _, p := range targets {
-		for _, a := range analyzers {
-			pass := &analysis.Pass{
-				Analyzer:  a,
-				Fset:      ld.Fset,
-				Files:     p.Files,
-				Pkg:       p.Pkg,
-				TypesInfo: p.Info,
-				Facts:     facts,
-				Report: func(d analysis.Diagnostic) {
-					if analysis.Suppressed(ld.Fset, p.Files, a.Name, d.Pos) {
-						return
-					}
-					pos := ld.Fset.Position(d.Pos)
-					file, err := filepath.Rel(modDir, pos.Filename)
-					if err != nil {
-						file = pos.Filename
-					}
-					findings = append(findings, lintout.Finding{
-						Analyzer: a.Name,
-						File:     filepath.ToSlash(file),
-						Line:     pos.Line,
-						Col:      pos.Column,
-						Message:  d.Message,
-					})
-				},
-			}
-			if err := a.Run(pass); err != nil {
-				fmt.Fprintf(stderr, "wiscape-lint: %s on %s: %v\n", a.Name, p.Path, err)
-				exit = 2
-			}
+	for ti := range targets {
+		findings = append(findings, perTarget[ti]...)
+		for _, msg := range perTargetErrs[ti] {
+			fmt.Fprintln(stderr, msg)
+			exit = 2
 		}
 	}
 	lintout.Sort(findings)
+
+	if *stats {
+		fmt.Fprintf(stderr, "wiscape-lint: load %s, facts %s, analyze %s (%d packages, %d workers)\n",
+			loadDur.Round(time.Millisecond), factsDur.Round(time.Millisecond),
+			analyzeDur.Round(time.Millisecond), len(targets), workers)
+		for ai, a := range analyzers {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name,
+				time.Duration(atomic.LoadInt64(&analyzerNS[ai])).Round(time.Millisecond))
+		}
+	}
 
 	if *writeBaseline != "" {
 		b := lintout.NewBaseline(findings)

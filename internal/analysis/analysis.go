@@ -12,7 +12,15 @@
 //     accessors, and instruments must come from a Registry;
 //   - wirebound: every wire envelope crosses the network through
 //     wire.Conn's MaxMessageBytes cap, and line-oriented reads of external
-//     input must be bounded.
+//     input must be bounded;
+//   - goleak: server-side goroutines must carry evidence of a bounded
+//     lifetime (shutdown-signal receive or WaitGroup accounting);
+//   - errdrop: errors from I/O-shaped calls must not be dropped on
+//     durability paths, with file/net kinds derived transitively;
+//   - lockorder: lock acquisition order must be globally consistent —
+//     any cycle in the whole-load ordering graph is a potential deadlock;
+//   - taintalloc: allocation sizes must not flow unchecked from network
+//     reads to make/ReadFull/CopyN/bufio sizing.
 //
 // The Analyzer/Pass contract deliberately mirrors golang.org/x/tools'
 // go/analysis (Name, Doc, Run(*Pass), Pass.Reportf) so each analyzer can
@@ -72,9 +80,21 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// ownsPos reports whether pos falls inside one of this pass's files.
+// Analyzers that surface whole-load facts (lockorder, taintalloc) use it
+// to report each finding from exactly one package.
+func (p *Pass) ownsPos(pos token.Pos) bool {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return true
+		}
+	}
+	return false
+}
+
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Nodeterm, Lockio, Nilsafemetric, Wirebound, Goleak, Errdrop}
+	return []*Analyzer{Nodeterm, Lockio, Nilsafemetric, Wirebound, Goleak, Errdrop, Lockorder, Taintalloc}
 }
 
 // ByName returns the analyzer with the given name, or nil.

@@ -15,6 +15,14 @@ import (
 // static call graph, so pass 2 — the analyzers — can ask "does anything
 // this call reaches block?" instead of going blind one function deep.
 //
+// Two whole-load dataflow domains run on top of the boolean facts:
+// lock-acquisition order (lockfacts.go — which locks a function may
+// take, directly or transitively, assembled into a global ordering graph
+// whose cycles the lockorder analyzer reports) and tainted lengths
+// (taintfacts.go — integers read off the wire tracked to a fixed point
+// through assignments, returns and arguments; unbounded arrivals at
+// sizing sinks become taintalloc findings).
+//
 // The call graph is deliberately the cheap one: direct calls to named
 // functions and methods resolved through types.Info. Calls through
 // interfaces, function values and `go`/closure boundaries contribute no
@@ -52,14 +60,54 @@ type FuncFacts struct {
 	// the other accepted goroutine-lifecycle evidence.
 	WGDone bool
 
+	// Acquires: identity keys of the locks this function may take,
+	// directly or through its static call chain (see lockfacts.go).
+	Acquires map[string]LockAcquire
+
 	// callees are the static call edges used by the fixed point.
 	callees []types.Object
+
+	// lockEdges/heldCalls are the lock-order domain's scan-time evidence
+	// (lockfacts.go); taint is the tainted-length domain's per-function
+	// summary (taintfacts.go). All three are consumed by ComputeFacts.
+	lockEdges []lockEdge
+	heldCalls []heldCall
+	taint     *taintSummary
 }
 
 // Facts indexes FuncFacts by function object. The zero/nil Facts is
-// usable and knows nothing (every lookup returns nil).
+// usable and knows nothing (every lookup returns nil). After
+// ComputeFacts returns, a Facts value is read-only and safe to share
+// across concurrently running analyzer passes.
 type Facts struct {
 	funcs map[types.Object]*FuncFacts
+	// order holds the functions in declaration order (packages as
+	// loaded, files name-sorted, decls top to bottom); the fixed points
+	// iterate it so via chains are deterministic run to run.
+	order []types.Object
+
+	// LockCycles are the whole-load lock-ordering cycles (lockfacts.go),
+	// reported by the lockorder analyzer.
+	LockCycles []LockCycle
+	// TaintFindings are the tainted-length sink reaches (taintfacts.go),
+	// reported by the taintalloc analyzer.
+	TaintFindings []TaintFinding
+}
+
+// Cycles returns the whole-load lock-ordering cycles. Nil-safe.
+func (f *Facts) Cycles() []LockCycle {
+	if f == nil {
+		return nil
+	}
+	return f.LockCycles
+}
+
+// Taint returns the whole-load tainted-length findings. Nil-safe.
+func (f *Facts) Taint() []TaintFinding {
+	if f == nil {
+		return nil
+	}
+	return f.TaintFindings
 }
 
 // Of returns the facts for fn, or nil when unknown. Nil-safe.
@@ -109,6 +157,8 @@ func ComputeFacts(pkgs []*PackageInfo) *Facts {
 				}
 				ff := &FuncFacts{}
 				scanBodyFacts(p.Info, fd.Body, ff)
+				scanLockFacts(p.Info, fd, ff)
+				ff.taint = scanTaintSummary(p.Info, fd)
 				if !funcReturnsError(fn) {
 					// Only error-returning functions can carry the
 					// must-check obligation to their callers.
@@ -117,14 +167,18 @@ func ComputeFacts(pkgs []*PackageInfo) *Facts {
 					ff.IOErrorVia = ""
 				}
 				facts.funcs[fn] = ff
+				facts.order = append(facts.order, fn)
 			}
 		}
 	}
 	// Fixed point: every fact is a monotone boolean (plus a one-way
 	// net→file kind upgrade), so iterating until quiescent terminates.
+	// Iteration follows declaration order so the Via evidence chains are
+	// stable run to run.
 	for changed := true; changed; {
 		changed = false
-		for obj, ff := range facts.funcs {
+		for _, obj := range facts.order {
+			ff := facts.funcs[obj]
 			for _, callee := range ff.callees {
 				cf := facts.funcs[callee]
 				if cf == nil {
@@ -157,6 +211,13 @@ func ComputeFacts(pkgs []*PackageInfo) *Facts {
 			}
 		}
 	}
+	// The two whole-load dataflow domains run after the boolean facts:
+	// lock acquisitions close over the call graph and the ordering graph
+	// is mined for cycles, then length taint propagates through locals,
+	// returns and arguments until quiescent.
+	propagateLockAcquires(facts)
+	facts.LockCycles = computeLockCycles(facts)
+	facts.TaintFindings = computeTaintFindings(facts)
 	return facts
 }
 

@@ -1,0 +1,164 @@
+// Package lockorder is the fixture for the lockorder analyzer:
+// lock-ordering cycles assembled across functions and packages, plus
+// the shapes that must stay silent.
+package lockorder
+
+import (
+	"sync"
+
+	"lockorder/pair"
+)
+
+// ---- cycle 1: two locks, the reverse edge only visible through a call ----
+
+type registry struct {
+	mu     sync.Mutex
+	routes map[string]string
+}
+
+type gateway struct {
+	mu    sync.Mutex
+	dirty bool
+	reg   *registry
+}
+
+// addRoute nests registry.mu under gateway.mu: the forward edge. The
+// cycle is reported once, anchored here (the first edge of the shortest
+// cycle through the smallest lock key).
+func (g *gateway) addRoute(k, v string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.reg.mu.Lock() // want `lock ordering cycle .*\(lockorder\.gateway\)\.mu acquired before \(lockorder\.registry\)\.mu in \(gateway\)\.addRoute; \(lockorder\.registry\)\.mu acquired before \(lockorder\.gateway\)\.mu in \(registry\)\.evict via call to \(gateway\)\.markDirty`
+	g.reg.routes[k] = v
+	g.reg.mu.Unlock()
+}
+
+// evict holds registry.mu and calls a gateway-locking helper: the
+// reverse edge exists only interprocedurally.
+func (r *registry) evict(g *gateway, k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.routes, k)
+	g.markDirty()
+}
+
+func (g *gateway) markDirty() {
+	g.mu.Lock()
+	g.dirty = true
+	g.mu.Unlock()
+}
+
+// ---- cycle 2: cross-package — the opposing lock lives in lockorder/pair ----
+
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// publish holds store.mu while bumping the shared table; the edge into
+// (pair.Table).Mu comes from pair's own facts.
+func (s *store) publish(t *pair.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.Bump() // want `lock ordering cycle .*\(lockorder\.store\)\.mu acquired before \(pair\.Table\)\.Mu in \(store\)\.publish via call to \(Table\)\.Bump`
+	s.n++
+}
+
+// refresh nests store.mu under the table lock: the reverse edge.
+func refresh(t *pair.Table, s *store) {
+	t.Mu.Lock()
+	defer t.Mu.Unlock()
+	s.mu.Lock()
+	s.n = t.Gen()
+	s.mu.Unlock()
+}
+
+// ---- suppression: a cycle silenced at its anchor edge ----
+
+type alpha struct {
+	mu sync.Mutex
+	b  *beta
+}
+
+type beta struct {
+	mu sync.Mutex
+	a  *alpha
+}
+
+func (a *alpha) crossB() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//lint:ignore lockorder fixture: demonstrates an audited two-lock crossing
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+}
+
+func (b *beta) crossA() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.a.mu.Lock()
+	b.a.mu.Unlock()
+}
+
+// ---- negatives ----
+
+// Consistent order: both paths (one direct, one through a call) take
+// outer before inner — no cycle.
+type outer struct {
+	mu sync.Mutex
+	in *inner
+}
+
+type inner struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (o *outer) touch() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.in.mu.Lock()
+	o.in.n++
+	o.in.mu.Unlock()
+}
+
+func (o *outer) reset() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.in.bump()
+}
+
+func (i *inner) bump() {
+	i.mu.Lock()
+	i.n++
+	i.mu.Unlock()
+}
+
+// Sequential acquisition — released before crossing — contributes no
+// edge in either direction, so inner-then-outer here cannot close a
+// cycle against touch's outer-then-inner.
+func handoff(o *outer, i *inner) {
+	i.mu.Lock()
+	i.n++
+	i.mu.Unlock()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+}
+
+// Different instances of one type conflate to one node and self-edges
+// are dropped: iterating peers cannot manufacture a cycle.
+func pairwise(a, b *inner) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.n = a.n
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// Local mutexes have no cross-function identity.
+func scratch() int {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	return 1
+}

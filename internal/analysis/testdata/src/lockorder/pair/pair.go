@@ -1,0 +1,26 @@
+// Package pair is the cross-package half of the lockorder fixture: a
+// table whose lock is acquired both by its own methods and, in the
+// opposite order, by the parent fixture package.
+package pair
+
+import "sync"
+
+// Table is a shared counter guarded by an exported lock so the parent
+// fixture can order against it directly.
+type Table struct {
+	Mu  sync.Mutex
+	gen int
+}
+
+// Bump locks the table; a caller holding its own lock orders that lock
+// before (pair.Table).Mu.
+func (t *Table) Bump() {
+	t.Mu.Lock()
+	t.gen++
+	t.Mu.Unlock()
+}
+
+// Gen expects t.Mu to be held by the caller.
+func (t *Table) Gen() int {
+	return t.gen
+}

@@ -1,0 +1,111 @@
+// Package taintalloc is the fixture for the taintalloc analyzer:
+// network-read lengths reaching sizing sinks with and without bound
+// checks, including flows that are only visible interprocedurally.
+package taintalloc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+
+	"taintalloc/codec"
+)
+
+const maxFrame = 1 << 20
+
+// ---- positives ----
+
+// readFrame allocates whatever the peer asks for.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	buf := make([]byte, n) // want `make\(\[\]byte, …\) sized by network-read value \(binary\.Uint32\)`
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// copyBody streams a peer-chosen number of bytes; the int64 conversion
+// is transparent to the taint.
+func copyBody(dst io.Writer, src io.Reader, hdr []byte) error {
+	n := binary.BigEndian.Uint64(hdr)
+	_, err := io.CopyN(dst, src, int64(n)) // want `io\.CopyN sized by network-read value \(binary\.Uint64\)`
+	return err
+}
+
+// readInto fills big[:n] — the tainted length rides a slice bound.
+func readInto(r io.Reader, hdr []byte, big []byte) error {
+	n := binary.BigEndian.Uint32(hdr)
+	_, err := io.ReadFull(r, big[:n]) // want `io\.ReadFull sized by network-read value \(binary\.Uint32\)`
+	return err
+}
+
+// sizeReader sizes a bufio.Reader from the wire.
+func sizeReader(r io.Reader, hdr []byte) *bufio.Reader {
+	n := int(binary.BigEndian.Uint32(hdr))
+	return bufio.NewReaderSize(r, n) // want `bufio\.NewReaderSize sized by network-read value \(binary\.Uint32\)`
+}
+
+// ---- interprocedural positives ----
+
+// allocFor's caller hands it a wire-read length; the finding lands on
+// the allocation with the argument chain named.
+func allocFor(n uint32) []byte {
+	return make([]byte, n) // want `make\(\[\]byte, …\) sized by network-read value \(binary\.Uint32 \(argument from taintalloc\.caller\)\)`
+}
+
+func caller(hdr []byte) []byte {
+	return allocFor(binary.BigEndian.Uint32(hdr))
+}
+
+// readVia pulls its length through a cross-package helper.
+func readVia(r io.Reader, hdr []byte) ([]byte, error) {
+	n := codec.FrameLen(hdr)
+	buf := make([]byte, n) // want `make\(\[\]byte, …\) sized by network-read value \(codec\.FrameLen → binary\.Uint64\)`
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// ---- negatives ----
+
+// Comparing the length anywhere in the body is the accepted bound.
+func readFrameBounded(r io.Reader, hdr []byte) ([]byte, error) {
+	n := binary.BigEndian.Uint32(hdr)
+	if n > maxFrame {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, n)
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// The helper bounds its result before returning it, so its return value
+// is clean.
+func readCapped(hdr []byte) []byte {
+	return make([]byte, codec.BoundedLen(hdr, maxFrame))
+}
+
+// 16-bit lengths allocate at most 64 KiB and are not sources.
+func readSmall(hdr []byte) []byte {
+	return make([]byte, binary.BigEndian.Uint16(hdr))
+}
+
+// A mask bounds by construction.
+func readMasked(hdr []byte) []byte {
+	n := binary.BigEndian.Uint64(hdr) & 0xffff
+	return make([]byte, n)
+}
+
+// Constant sizing is obviously fine.
+func newReader(r io.Reader) *bufio.Reader {
+	return bufio.NewReaderSize(r, 64<<10)
+}
+
+// Suppression: the audited escape hatch.
+func trusted(hdr []byte) []byte {
+	n := binary.BigEndian.Uint64(hdr)
+	//lint:ignore taintalloc fixture: header comes from an authenticated local peer
+	return make([]byte, n)
+}

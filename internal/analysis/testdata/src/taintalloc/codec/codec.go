@@ -1,0 +1,21 @@
+// Package codec is the cross-package half of the taintalloc fixture:
+// one helper that leaks a wire-read length to its callers and one that
+// bounds it first.
+package codec
+
+import "encoding/binary"
+
+// FrameLen returns the raw length prefix of a frame header; callers who
+// allocate from it unchecked inherit the taint.
+func FrameLen(hdr []byte) uint64 {
+	return binary.LittleEndian.Uint64(hdr)
+}
+
+// BoundedLen caps the prefix, so its result is safe to allocate from.
+func BoundedLen(hdr []byte, max uint64) uint64 {
+	n := binary.LittleEndian.Uint64(hdr)
+	if n > max {
+		return max
+	}
+	return n
+}

@@ -1,0 +1,110 @@
+package replication
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// frameBytes encodes one frame exactly as the wire does.
+func frameBytes(t testing.TB, typ byte, payload []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeFrame(bw, typ, payload); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzFrameRoundTrip feeds arbitrary bytes through readFrame and checks
+// two invariants: every frame that parses re-encodes to exactly the
+// bytes consumed, and every typed payload that decodes re-encodes to
+// the identical payload. The seed corpus covers all six frame types.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(frameBytes(f, frameHello, encodeHello(hello{from: 42, id: "replica-a"})))
+	f.Add(frameBytes(f, frameHello, encodeHello(hello{from: 0, id: ""})))
+	f.Add(frameBytes(f, frameSnapshot, encodeSnapshot(7, []byte(`{"zones":{}}`))))
+	f.Add(frameBytes(f, frameRecords, encodeRecords([]record{
+		{lsn: 1, body: []byte(`{"rssi":-70}`)},
+		{lsn: 2, body: nil},
+	})))
+	f.Add(frameBytes(f, frameRecords, encodeRecords(nil)))
+	f.Add(frameBytes(f, frameHeartbeat, encodeU64(99)))
+	f.Add(frameBytes(f, frameAck, encodeU64(3)))
+	f.Add(frameBytes(f, frameReject, []byte("version 9 unsupported")))
+	// Truncated header and oversized-length headers must error, not panic.
+	f.Add([]byte{0xff, 0xff})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, frameHello})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		typ, payload, err := readFrame(br, maxFrameBytes)
+		if err != nil {
+			// Malformed input is fine; it must just be rejected cleanly.
+			return
+		}
+		consumed := 5 + len(payload)
+		if consumed > len(data) {
+			t.Fatalf("readFrame claims %d bytes from a %d-byte input", consumed, len(data))
+		}
+
+		// Frame-level round trip: re-encoding what we read must
+		// reproduce the consumed prefix byte for byte.
+		if got := frameBytes(t, typ, payload); !bytes.Equal(got, data[:consumed]) {
+			t.Fatalf("frame round trip drifted:\n got %x\nwant %x", got, data[:consumed])
+		}
+
+		// Payload-level round trips for every typed decoder.
+		switch typ {
+		case frameHello:
+			h, err := decodeHello(payload)
+			if err != nil {
+				return
+			}
+			if got := encodeHello(h); !bytes.Equal(got, payload) {
+				t.Fatalf("hello round trip drifted:\n got %x\nwant %x", got, payload)
+			}
+		case frameSnapshot:
+			lsn, body, err := decodeSnapshot(payload)
+			if err != nil {
+				return
+			}
+			if got := encodeSnapshot(lsn, body); !bytes.Equal(got, payload) {
+				t.Fatalf("snapshot round trip drifted:\n got %x\nwant %x", got, payload)
+			}
+		case frameRecords:
+			recs, err := decodeRecords(payload)
+			if err != nil {
+				return
+			}
+			if got := encodeRecords(recs); !bytes.Equal(got, payload) {
+				t.Fatalf("records round trip drifted:\n got %x\nwant %x", got, payload)
+			}
+		case frameHeartbeat, frameAck:
+			v, err := decodeU64(payload)
+			if err != nil {
+				return
+			}
+			if got := encodeU64(v); !bytes.Equal(got, payload) {
+				t.Fatalf("u64 round trip drifted:\n got %x\nwant %x", got, payload)
+			}
+		}
+
+		// Whatever follows the first frame must itself read as frames or
+		// fail cleanly — the stream parser never panics on trailing junk.
+		for {
+			if _, _, err := readFrame(br, maxFrameBytes); err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, errBadFrame) {
+					t.Fatalf("trailing frame failed with unexpected error: %v", err)
+				}
+				return
+			}
+		}
+	})
+}

@@ -1,11 +1,11 @@
 // wiscape-lint is the repository's invariant gate: it runs the
 // internal/analysis suite (nodeterm, lockio, nilsafemetric, wirebound,
-// goleak, errdrop, lockorder, taintalloc) over module packages and
-// exits non-zero on any finding.
+// goleak, errdrop, lockorder, taintalloc, lockguard, atomicmix) over
+// module packages and exits non-zero on any finding.
 //
 // Usage:
 //
-//	wiscape-lint [-only a,b] [-list] [-json|-sarif] [-baseline FILE] [-write-baseline FILE] [-stats] [packages]
+//	wiscape-lint [-only a,b] [-list] [-json|-sarif] [-baseline FILE] [-write-baseline FILE] [-stats] [-stats-json FILE [-stats-label NAME]] [packages]
 //
 // Packages are import paths or the pattern ./... (the default), which
 // walks every package in the enclosing module. The run is two-pass:
@@ -18,7 +18,10 @@
 // bounded worker pool (one job per package) with findings merged in
 // request order, so output stays byte-identical run to run. -stats
 // prints the load/facts/analyze wall times and cumulative per-analyzer
-// cost to stderr.
+// cost to stderr; -stats-json records the same split as a labeled
+// snapshot in a JSON file (replacing any snapshot with the same
+// -stats-label, appending otherwise), which is how BENCH_lint.json
+// tracks the suite's cost across growth.
 //
 // Findings are suppressed by a "//lint:ignore <analyzer> <reason>"
 // comment on the offending line or the line above; the reason is
@@ -34,6 +37,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/scanner"
@@ -66,6 +70,8 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file; report only new ones")
 	writeBaseline := fs.String("write-baseline", "", "write a baseline accepting the current findings to this file, then exit")
 	stats := fs.Bool("stats", false, "print load/facts/analyze wall time and per-analyzer cost to stderr")
+	statsJSON := fs.String("stats-json", "", "record the timing split as a labeled snapshot in this JSON file")
+	statsLabel := fs.String("stats-label", "current", "snapshot label for -stats-json (same label replaces, new label appends)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -86,7 +92,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		for _, name := range strings.Split(*only, ",") {
 			a := analysis.ByName(strings.TrimSpace(name))
 			if a == nil {
-				fmt.Fprintf(stderr, "wiscape-lint: unknown analyzer %q (use -list)\n", name)
+				valid := make([]string, 0, len(analysis.All()))
+				for _, known := range analysis.All() {
+					valid = append(valid, known.Name)
+				}
+				fmt.Fprintf(stderr, "wiscape-lint: unknown analyzer %q; valid analyzers: %s\n",
+					name, strings.Join(valid, ", "))
 				return 2
 			}
 			analyzers = append(analyzers, a)
@@ -237,6 +248,25 @@ func run(argv []string, stdout, stderr io.Writer) int {
 				time.Duration(atomic.LoadInt64(&analyzerNS[ai])).Round(time.Millisecond))
 		}
 	}
+	if *statsJSON != "" {
+		snap := statsSnapshot{
+			Label:         *statsLabel,
+			Analyzers:     len(analyzers),
+			Packages:      len(targets),
+			Workers:       workers,
+			LoadMS:        loadDur.Milliseconds(),
+			FactsMS:       factsDur.Milliseconds(),
+			AnalyzeMS:     analyzeDur.Milliseconds(),
+			PerAnalyzerMS: make(map[string]int64, len(analyzers)),
+		}
+		for ai, a := range analyzers {
+			snap.PerAnalyzerMS[a.Name] = time.Duration(atomic.LoadInt64(&analyzerNS[ai])).Milliseconds()
+		}
+		if err := writeStatsJSON(*statsJSON, snap); err != nil {
+			fmt.Fprintf(stderr, "wiscape-lint: %v\n", err)
+			return 2
+		}
+	}
 
 	if *writeBaseline != "" {
 		b := lintout.NewBaseline(findings)
@@ -293,6 +323,50 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		exit = 1
 	}
 	return exit
+}
+
+// statsSnapshot is one labeled timing record in a -stats-json file.
+type statsSnapshot struct {
+	Label         string           `json:"label"`
+	Analyzers     int              `json:"analyzers"`
+	Packages      int              `json:"packages"`
+	Workers       int              `json:"workers"`
+	LoadMS        int64            `json:"load_ms"`
+	FactsMS       int64            `json:"facts_ms"`
+	AnalyzeMS     int64            `json:"analyze_ms"`
+	PerAnalyzerMS map[string]int64 `json:"per_analyzer_ms"`
+}
+
+type statsFile struct {
+	Snapshots []statsSnapshot `json:"snapshots"`
+}
+
+// writeStatsJSON merges snap into the snapshot file at path: a snapshot
+// with the same label is replaced in place, a new label appends — so the
+// file keeps one entry per tracked configuration ("eight-analyzers",
+// "ten-analyzers", …) instead of an unbounded log.
+func writeStatsJSON(path string, snap statsSnapshot) error {
+	var sf statsFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &sf); err != nil {
+			return fmt.Errorf("parsing stats file %s: %w", path, err)
+		}
+	}
+	replaced := false
+	for i := range sf.Snapshots {
+		if sf.Snapshots[i].Label == snap.Label {
+			sf.Snapshots[i] = snap
+			replaced = true
+		}
+	}
+	if !replaced {
+		sf.Snapshots = append(sf.Snapshots, snap)
+	}
+	data, err := json.MarshalIndent(&sf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // relErr rewrites a parse error's absolute filename module-relative so

@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/analysis"
 )
 
 // writeTree materializes a fake module: path -> contents.
@@ -124,5 +127,90 @@ func TestRunRejectsJSONPlusSARIF(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "mutually exclusive") {
 		t.Fatalf("stderr: %s", stderr.String())
+	}
+}
+
+// TestRunUnknownAnalyzerExitsTwo: a typo in -only must fail loudly with
+// the valid names, not silently run nothing.
+func TestRunUnknownAnalyzerExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "lockgaurd"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, `unknown analyzer "lockgaurd"`) {
+		t.Fatalf("stderr should name the bad analyzer, got: %s", out)
+	}
+	for _, name := range []string{"nodeterm", "lockorder", "lockguard", "atomicmix"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("stderr should list valid analyzer %s, got: %s", name, out)
+		}
+	}
+}
+
+// TestRunStatsJSONMergesByLabel drives -stats-json end to end on a tiny
+// module: a fresh file gains a snapshot, a second label appends, and
+// re-recording an existing label replaces it instead of growing the file.
+func TestRunStatsJSONMergesByLabel(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module example\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nfunc F() int { return 1 }\n",
+	})
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(wd)
+
+	statsPath := filepath.Join(dir, "bench.json")
+	read := func() statsFile {
+		t.Helper()
+		data, err := os.ReadFile(statsPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sf statsFile
+		if err := json.Unmarshal(data, &sf); err != nil {
+			t.Fatalf("stats file is not valid JSON: %v\n%s", err, data)
+		}
+		return sf
+	}
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-stats-json", statsPath, "-stats-label", "before", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	sf := read()
+	if len(sf.Snapshots) != 1 || sf.Snapshots[0].Label != "before" {
+		t.Fatalf("snapshots after first run = %+v", sf.Snapshots)
+	}
+	if want := len(analysis.All()); sf.Snapshots[0].Analyzers != want {
+		t.Fatalf("recorded %d analyzers, want %d", sf.Snapshots[0].Analyzers, want)
+	}
+	if len(sf.Snapshots[0].PerAnalyzerMS) != len(analysis.All()) {
+		t.Fatalf("per-analyzer map has %d entries, want %d", len(sf.Snapshots[0].PerAnalyzerMS), len(analysis.All()))
+	}
+
+	if code := run([]string{"-stats-json", statsPath, "-stats-label", "after", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if sf = read(); len(sf.Snapshots) != 2 {
+		t.Fatalf("new label should append, got %+v", sf.Snapshots)
+	}
+
+	if code := run([]string{"-only", "nodeterm", "-stats-json", statsPath, "-stats-label", "after", "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	sf = read()
+	if len(sf.Snapshots) != 2 {
+		t.Fatalf("same label should replace, got %+v", sf.Snapshots)
+	}
+	for _, s := range sf.Snapshots {
+		if s.Label == "after" && s.Analyzers != 1 {
+			t.Fatalf("replaced snapshot not updated: %+v", s)
+		}
 	}
 }

@@ -20,7 +20,12 @@
 //   - lockorder: lock acquisition order must be globally consistent —
 //     any cycle in the whole-load ordering graph is a potential deadlock;
 //   - taintalloc: allocation sizes must not flow unchecked from network
-//     reads to make/ReadFull/CopyN/bufio sizing.
+//     reads to make/ReadFull/CopyN/bufio sizing;
+//   - lockguard: a struct field guarded by a lock on a supermajority of
+//     its accesses (inferred, or declared by //wiscape:guardedby) must
+//     hold that lock on every access outside constructors and teardown;
+//   - atomicmix: a field accessed via sync/atomic anywhere must not also
+//     be accessed by plain load/store — mixed access is a data race.
 //
 // The Analyzer/Pass contract deliberately mirrors golang.org/x/tools'
 // go/analysis (Name, Doc, Run(*Pass), Pass.Reportf) so each analyzer can
@@ -94,7 +99,7 @@ func (p *Pass) ownsPos(pos token.Pos) bool {
 
 // All returns the full suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Nodeterm, Lockio, Nilsafemetric, Wirebound, Goleak, Errdrop, Lockorder, Taintalloc}
+	return []*Analyzer{Nodeterm, Lockio, Nilsafemetric, Wirebound, Goleak, Errdrop, Lockorder, Taintalloc, Lockguard, Atomicmix}
 }
 
 // ByName returns the analyzer with the given name, or nil.

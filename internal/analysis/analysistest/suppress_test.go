@@ -1,0 +1,86 @@
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestSuppressionEdgeCases pins the exact contract of //lint:ignore,
+// shared by every analyzer and both drivers: the comment must name the
+// right analyzer, must carry a reason, and must sit on the flagged line
+// or the line immediately above — nothing looser counts.
+func TestSuppressionEdgeCases(t *testing.T) {
+	const marker = "sink()"
+	cases := []struct {
+		name       string
+		body       string // function body lines; diagnostic anchors at marker
+		suppressed bool
+	}{
+		{
+			name:       "end-of-line comment suppresses",
+			body:       "sink() //lint:ignore testcheck audited: fixture exercises the sink\n",
+			suppressed: true,
+		},
+		{
+			name:       "line-above comment suppresses",
+			body:       "//lint:ignore testcheck audited: fixture exercises the sink\nsink()\n",
+			suppressed: true,
+		},
+		{
+			name:       "wrong analyzer name does not suppress",
+			body:       "//lint:ignore othercheck audited: fixture exercises the sink\nsink()\n",
+			suppressed: false,
+		},
+		{
+			name:       "missing reason does not suppress",
+			body:       "//lint:ignore testcheck\nsink()\n",
+			suppressed: false,
+		},
+		{
+			name:       "missing reason at end of line does not suppress",
+			body:       "sink() //lint:ignore testcheck\n",
+			suppressed: false,
+		},
+		{
+			name:       "two lines above is too far",
+			body:       "//lint:ignore testcheck audited: fixture exercises the sink\n_ = 0\nsink()\n",
+			suppressed: false,
+		},
+		{
+			name:       "line below does not suppress",
+			body:       "sink()\n//lint:ignore testcheck audited: fixture exercises the sink\n",
+			suppressed: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src := "package p\n\nfunc sink() {}\n\nfunc f() {\n" + tc.body + "}\n"
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("fixture does not parse: %v", err)
+			}
+			pos := markerPos(t, fset, f, src, marker)
+			got := analysis.Suppressed(fset, []*ast.File{f}, "testcheck", pos)
+			if got != tc.suppressed {
+				t.Errorf("Suppressed = %v, want %v\nsource:\n%s", got, tc.suppressed, src)
+			}
+		})
+	}
+}
+
+// markerPos returns the position of the last occurrence of marker in
+// src — the call site a diagnostic would anchor at, not the declaration.
+func markerPos(t *testing.T, fset *token.FileSet, f *ast.File, src, marker string) token.Pos {
+	t.Helper()
+	off := strings.LastIndex(src, marker)
+	if off < 0 {
+		t.Fatalf("marker %q not in source", marker)
+	}
+	return fset.File(f.Pos()).Pos(off)
+}

@@ -68,11 +68,14 @@ type FuncFacts struct {
 	callees []types.Object
 
 	// lockEdges/heldCalls are the lock-order domain's scan-time evidence
-	// (lockfacts.go); taint is the tainted-length domain's per-function
-	// summary (taintfacts.go). All three are consumed by ComputeFacts.
-	lockEdges []lockEdge
-	heldCalls []heldCall
-	taint     *taintSummary
+	// (lockfacts.go); fieldAccesses are the field-access domain's
+	// per-function records (fieldfacts.go); taint is the tainted-length
+	// domain's per-function summary (taintfacts.go). All are consumed by
+	// ComputeFacts.
+	lockEdges     []lockEdge
+	heldCalls     []heldCall
+	fieldAccesses []fieldAccess
+	taint         *taintSummary
 }
 
 // Facts indexes FuncFacts by function object. The zero/nil Facts is
@@ -92,6 +95,10 @@ type Facts struct {
 	// TaintFindings are the tainted-length sink reaches (taintfacts.go),
 	// reported by the taintalloc analyzer.
 	TaintFindings []TaintFinding
+	// GuardFindings/MixFindings are the whole-load field-access verdicts
+	// (fieldfacts.go), reported by the lockguard and atomicmix analyzers.
+	GuardFindings []GuardFinding
+	MixFindings   []MixFinding
 }
 
 // Cycles returns the whole-load lock-ordering cycles. Nil-safe.
@@ -108,6 +115,22 @@ func (f *Facts) Taint() []TaintFinding {
 		return nil
 	}
 	return f.TaintFindings
+}
+
+// Guards returns the whole-load lockguard findings. Nil-safe.
+func (f *Facts) Guards() []GuardFinding {
+	if f == nil {
+		return nil
+	}
+	return f.GuardFindings
+}
+
+// Mixes returns the whole-load atomicmix findings. Nil-safe.
+func (f *Facts) Mixes() []MixFinding {
+	if f == nil {
+		return nil
+	}
+	return f.MixFindings
 }
 
 // Of returns the facts for fn, or nil when unknown. Nil-safe.
@@ -141,11 +164,13 @@ type PackageInfo struct {
 // selves).
 func ComputeFacts(pkgs []*PackageInfo) *Facts {
 	facts := &Facts{funcs: make(map[types.Object]*FuncFacts)}
+	guardDecls := make(map[string]string)
 	for _, p := range pkgs {
 		if p == nil || p.Info == nil {
 			continue
 		}
 		for _, f := range p.Files {
+			scanGuardDecls(p.Info, f, guardDecls)
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
 				if !ok || fd.Body == nil {
@@ -218,6 +243,7 @@ func ComputeFacts(pkgs []*PackageInfo) *Facts {
 	propagateLockAcquires(facts)
 	facts.LockCycles = computeLockCycles(facts)
 	facts.TaintFindings = computeTaintFindings(facts)
+	facts.GuardFindings, facts.MixFindings = computeFieldFindings(facts, guardDecls)
 	return facts
 }
 

@@ -57,20 +57,36 @@ type lockEdge struct {
 
 // heldCall is a call made while locks were held; joined with the
 // callee's transitive Acquires it yields cross-function ordering edges.
+// The same records double as the call-context edges of the field-access
+// domain (fieldfacts.go), which is why calls with an empty held set are
+// recorded too: a single unlocked call site is what breaks a "callers
+// always hold mu" guarantee.
 type heldCall struct {
 	held   []string // identity keys held at the call site, deduplicated
 	callee types.Object
 	pos    token.Pos
+	// orderExempt excludes this edge from the lock-ordering graph:
+	// deferred and go'd calls run outside the statement's lock context
+	// (PR 9 deliberately contributes no ordering edges for them), but the
+	// field-access domain still needs the call edge for its must-hold
+	// caller intersection.
+	orderExempt bool
 }
 
-// scanLockFacts extracts lock-order evidence from one declared function
-// body into ff: the locks it acquires, the direct ordering edges, and
-// the calls it makes while holding locks.
+// scanLockFacts extracts lock-order and field-access evidence from one
+// declared function body into ff: the locks it acquires, the direct
+// ordering edges, the calls it makes (with the held set at each site),
+// and every struct-field read/write with its flow-sensitive held set.
 func scanLockFacts(info *types.Info, fd *ast.FuncDecl, ff *FuncFacts) {
 	if info == nil || fd.Body == nil {
 		return
 	}
-	w := &lockFactsWalker{info: info, ff: ff}
+	w := &lockFactsWalker{
+		info:     info,
+		ff:       ff,
+		fresh:    freshLocals(info, fd.Body),
+		teardown: teardownFuncName(fd.Name.Name),
+	}
 	w.walkBlock(fd.Body, nil)
 }
 
@@ -83,6 +99,15 @@ type heldLock struct {
 type lockFactsWalker struct {
 	info *types.Info
 	ff   *FuncFacts
+	// fresh holds the local variables born from a composite literal or
+	// new() in this body: accesses through them are constructor-time and
+	// escape the lockguard/atomicmix rules (fieldfacts.go).
+	fresh map[*types.Var]bool
+	// teardown marks the whole body as teardown (Close/Stop/Shutdown
+	// methods); afterWait flips once a (*sync.WaitGroup).Wait call has
+	// been seen, marking everything after it as post-Wait teardown.
+	teardown  bool
+	afterWait bool
 }
 
 func cloneHeld(held []heldLock) []heldLock {
@@ -112,14 +137,31 @@ func (w *lockFactsWalker) walkStmt(s ast.Stmt, held []heldLock) []heldLock {
 				return release(held, text)
 			}
 		}
+		if w.isWaitCall(s.X) {
+			// Everything from here on runs after the WaitGroup drained:
+			// plain reads of worker-written state are the documented
+			// teardown idiom, not a race.
+			w.afterWait = true
+		}
 		w.scanExpr(s.X, held)
 	case *ast.DeferStmt:
 		// A deferred Unlock keeps the lock held to the end of the body
 		// (no state change); other deferred calls run at function exit,
-		// outside this statement's lock context.
+		// outside this statement's lock context — they contribute no
+		// ordering edge, but the field domain records the call (with the
+		// held set at the defer statement approximating the exit-time
+		// set) and the argument/receiver reads evaluated here and now.
+		if _, _, _, ok := w.lockMethodCall(s.Call); !ok {
+			w.scanDetachedCall(s.Call, held, held)
+		}
 	case *ast.GoStmt:
 		// The spawned goroutine acquires its locks later, on its own
-		// stack; they do not order against locks held here.
+		// stack; they do not order against locks held here — and it runs
+		// without them, so its call edge carries an empty held set (which
+		// is exactly what stops the field domain from believing a
+		// goroutine body inherits its spawner's locks). Arguments are
+		// still evaluated here, under the current set.
+		w.scanDetachedCall(s.Call, nil, held)
 	case *ast.IfStmt:
 		if s.Init != nil {
 			held = w.walkStmt(s.Init, held)
@@ -182,14 +224,17 @@ func (w *lockFactsWalker) walkStmt(s ast.Stmt, held []heldLock) []heldLock {
 			w.scanExpr(e, held)
 		}
 		for _, e := range s.Lhs {
-			w.scanExpr(e, held)
+			w.writeTarget(e, held)
 		}
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
 	case *ast.ReturnStmt:
 		for _, e := range s.Results {
 			w.scanExpr(e, held)
 		}
 	case *ast.IncDecStmt:
-		w.scanExpr(s.X, held)
+		w.writeTarget(s.X, held)
 	case *ast.DeclStmt:
 		if gd, ok := s.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
@@ -235,35 +280,168 @@ func release(held []heldLock, text string) []heldLock {
 	return held
 }
 
-// scanExpr records every resolvable call inside e made while locks are
-// held. Function literals are their own scope and not descended into.
+// scanExpr records every resolvable call inside e (with the held set at
+// the site — empty sets included, for the field domain's caller
+// intersection) and every struct-field read, distinguishing sync/atomic
+// accesses from plain ones. Function literals are their own scope and
+// not descended into.
 func (w *lockFactsWalker) scanExpr(e ast.Expr, held []heldLock) {
-	if e == nil || len(held) == 0 {
+	if e == nil {
 		return
 	}
 	ast.Inspect(e, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
+		switch n := n.(type) {
+		case *ast.FuncLit:
 			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		fn := calleeFunc(w.info, call)
-		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == "sync" {
-			return true
-		}
-		ids := make([]string, 0, len(held))
-		seen := make(map[string]bool, len(held))
-		for _, h := range held {
-			if !seen[h.id] {
-				seen[h.id] = true
-				ids = append(ids, h.id)
+		case *ast.CallExpr:
+			return w.scanCall(n, held)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				// &x.f of a sync/atomic-typed field is the by-pointer
+				// handoff the atomic API works through, not a plain read.
+				if key, atomicTyped, ok := w.fieldSel(n.X); ok && atomicTyped {
+					w.recordAccess(n.X, key, held, accessAtomic)
+					w.scanExpr(selBase(n.X), held)
+					return false
+				}
+			}
+		case *ast.SelectorExpr:
+			if key, _, ok := w.fieldSel(n); ok {
+				// Record the read and keep descending: x in x.f may be a
+				// field itself.
+				w.recordAccess(n, key, held, 0)
 			}
 		}
-		w.ff.heldCalls = append(w.ff.heldCalls, heldCall{held: ids, callee: fn, pos: call.Pos()})
 		return true
 	})
+}
+
+// scanCall handles one call discovered during scanExpr's walk. It
+// returns false when it has walked the interesting children itself.
+func (w *lockFactsWalker) scanCall(call *ast.CallExpr, held []heldLock) bool {
+	fn := calleeFunc(w.info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return true
+	}
+	switch fn.Pkg().Path() {
+	case "sync/atomic":
+		w.scanAtomicCall(call, fn, held)
+		return false
+	case "sync":
+		// Lock/Unlock are consumed by walkStmt; other sync methods
+		// (cond.Wait, once.Do arguments…) contribute no call edge.
+		return true
+	}
+	w.recordCallEdge(call, held, false)
+	return true
+}
+
+// scanAtomicCall records the field accesses of one sync/atomic call. Two
+// shapes: atomic.AddInt64(&s.n, 1) marks the &field argument atomic;
+// s.n.Load() (typed atomics) marks the receiver field.
+func (w *lockFactsWalker) scanAtomicCall(call *ast.CallExpr, fn *types.Func, held []heldLock) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if sig, okSig := fn.Type().(*types.Signature); okSig && sig.Recv() != nil {
+			if key, _, okF := w.fieldSel(sel.X); okF {
+				w.recordAccess(sel.X, key, held, accessAtomic)
+			}
+			w.scanExpr(selBase(sel.X), held)
+		}
+	}
+	for _, a := range call.Args {
+		if ue, ok := ast.Unparen(a).(*ast.UnaryExpr); ok && ue.Op == token.AND {
+			if key, _, okF := w.fieldSel(ue.X); okF {
+				w.recordAccess(ue.X, key, held, accessAtomic)
+				w.scanExpr(selBase(ue.X), held)
+				continue
+			}
+		}
+		w.scanExpr(a, held)
+	}
+}
+
+// scanDetachedCall handles a call whose execution is detached from the
+// statement that names it (defer/go): the call edge carries edgeHeld —
+// the held set approximating the callee's eventual run context — while
+// receiver and argument expressions are evaluated here and now, under
+// readHeld. Both edges are order-exempt (PR 9's lockorder graph ignores
+// them), and a deferred/spawned sync/atomic call still records its
+// atomic field access rather than a plain receiver read.
+func (w *lockFactsWalker) scanDetachedCall(call *ast.CallExpr, edgeHeld, readHeld []heldLock) {
+	if fn := calleeFunc(w.info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+		w.scanAtomicCall(call, fn, readHeld)
+		return
+	}
+	w.recordCallEdge(call, edgeHeld, true)
+	w.scanExpr(call.Fun, readHeld)
+	for _, a := range call.Args {
+		w.scanExpr(a, readHeld)
+	}
+}
+
+// recordCallEdge appends the resolvable callee of call to heldCalls with
+// the (deduplicated) held set.
+func (w *lockFactsWalker) recordCallEdge(call *ast.CallExpr, held []heldLock, orderExempt bool) {
+	fn := calleeFunc(w.info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == "sync" || fn.Pkg().Path() == "sync/atomic" {
+		return
+	}
+	w.ff.heldCalls = append(w.ff.heldCalls, heldCall{held: dedupHeldIDs(held), callee: fn, pos: call.Pos(), orderExempt: orderExempt})
+}
+
+// dedupHeldIDs flattens the ordered held list to its distinct identity
+// keys, preserving acquisition order.
+func dedupHeldIDs(held []heldLock) []string {
+	if len(held) == 0 {
+		return nil
+	}
+	ids := make([]string, 0, len(held))
+	seen := make(map[string]bool, len(held))
+	for _, h := range held {
+		if !seen[h.id] {
+			seen[h.id] = true
+			ids = append(ids, h.id)
+		}
+	}
+	return ids
+}
+
+// writeTarget records the assignment target e as a field write when it
+// resolves to one — including writes through a field-held container
+// (s.m[k] = v mutates what s.m guards) — and scans the rest for reads.
+func (w *lockFactsWalker) writeTarget(e ast.Expr, held []heldLock) {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if key, _, ok := w.fieldSel(t); ok {
+			w.recordAccess(t, key, held, accessWrite)
+			w.scanExpr(selBase(t), held)
+			return
+		}
+	case *ast.IndexExpr:
+		w.scanExpr(t.Index, held)
+		if key, _, ok := w.fieldSel(t.X); ok {
+			w.recordAccess(t.X, key, held, accessWrite)
+			w.scanExpr(selBase(t.X), held)
+			return
+		}
+		w.scanExpr(t.X, held)
+		return
+	case *ast.StarExpr:
+		// *s.p = v writes through the pointer: the field itself is read.
+		w.scanExpr(t.X, held)
+		return
+	}
+	w.scanExpr(e, held)
+}
+
+// isWaitCall reports whether e is a (*sync.WaitGroup).Wait call.
+func (w *lockFactsWalker) isWaitCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(w.info, call)
+	return fn != nil && isWaitGroupMethod(fn, "Wait")
 }
 
 // lockMethodCall recognizes e as a call to a sync package lock method
@@ -432,6 +610,13 @@ func computeLockCycles(facts *Facts) []LockCycle {
 			add(e.from, e.to, e.pos, "in "+shortFuncName(obj))
 		}
 		for _, hc := range ff.heldCalls {
+			// Empty-held and defer/go edges exist for the field-access
+			// domain's caller intersection only; they contribute no
+			// ordering edge (nothing is ordered, or the callee runs
+			// outside this statement's lock context).
+			if len(hc.held) == 0 || hc.orderExempt {
+				continue
+			}
 			cf := facts.funcs[hc.callee]
 			if cf == nil || len(cf.Acquires) == 0 {
 				continue

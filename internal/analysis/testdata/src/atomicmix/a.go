@@ -1,0 +1,98 @@
+// Package atomicmix is the fixture for the atomicmix analyzer: fields
+// accessed via sync/atomic in one place and by plain load/store in
+// another, plus the all-atomic, typed-atomic, constructor and teardown
+// shapes that must stay silent.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"atomicmix/ctr"
+)
+
+// ---- function-form atomics mixed with a plain read ----
+
+type stats struct {
+	hits   int64
+	misses int64
+}
+
+func (s *stats) hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) miss() {
+	atomic.AddInt64(&s.misses, 1)
+}
+
+// report mixes a plain read with hit's atomic increments.
+func (s *stats) report() int64 {
+	return s.hits // want `field \(atomicmix\.stats\)\.hits is accessed via sync/atomic in \(stats\)\.hit but by a plain read in \(stats\)\.report`
+}
+
+// missCount keeps misses all-atomic: no finding.
+func (s *stats) missCount() int64 {
+	return atomic.LoadInt64(&s.misses)
+}
+
+// newStats initializes through a constructor-fresh local: plain by
+// necessity, silent by design.
+func newStats(seed int64) *stats {
+	s := &stats{}
+	s.hits = seed
+	return s
+}
+
+// ---- typed atomics: methods and by-pointer handoff are both atomic ----
+
+type gauge struct {
+	v atomic.Int64
+}
+
+func (g *gauge) set(x int64) { g.v.Store(x) }
+func (g *gauge) get() int64  { return g.v.Load() }
+
+// bumpBy hands the typed atomic off by pointer — still an atomic
+// access, not a plain read of v.
+func (g *gauge) bumpBy(d int64) { addTo(&g.v, d) }
+
+func addTo(v *atomic.Int64, d int64) { v.Add(d) }
+
+// ---- post-Wait teardown: a plain read after the workers drained ----
+
+type worker struct {
+	wg   sync.WaitGroup
+	done int64
+}
+
+func (w *worker) start(n int) {
+	for i := 0; i < n; i++ {
+		w.wg.Add(1)
+		go w.step()
+	}
+}
+
+func (w *worker) step() {
+	defer w.wg.Done()
+	atomic.AddInt64(&w.done, 1)
+}
+
+// finish reads plainly after Wait: the writers are gone.
+func (w *worker) finish() int64 {
+	w.wg.Wait()
+	return w.done
+}
+
+// ---- cross-package positive: the atomic discipline lives in atomicmix/ctr ----
+
+// racyReset zeroes the counter with a plain store.
+func racyReset(c *ctr.Counter) {
+	c.N = 0 // want `field \(ctr\.Counter\)\.N is accessed via sync/atomic in \(Counter\)\.(Inc|Get) but by a plain write in atomicmix\.racyReset`
+}
+
+// auditedPeek demonstrates the suppression escape hatch.
+func auditedPeek(c *ctr.Counter) int64 {
+	//lint:ignore atomicmix fixture: single-threaded test hook audited by a human
+	return c.N
+}

@@ -1,0 +1,14 @@
+// Package ctr is the cross-package half of the atomicmix fixture: a
+// counter its own package only ever touches atomically, so a plain
+// access in the parent package is the mix.
+package ctr
+
+import "sync/atomic"
+
+// Counter is an exported atomic counter.
+type Counter struct {
+	N int64
+}
+
+func (c *Counter) Inc()       { atomic.AddInt64(&c.N, 1) }
+func (c *Counter) Get() int64 { return atomic.LoadInt64(&c.N) }

@@ -1,0 +1,164 @@
+// Package lockguard is the fixture for the lockguard analyzer: fields
+// whose guard is inferred by dominant association (or declared by
+// //wiscape:guardedby), minority accesses that skip it, and every escape
+// that must stay silent.
+package lockguard
+
+import (
+	"sync"
+
+	"lockguard/box"
+)
+
+// ---- the seeded known race: written under mu in one method, bare in another ----
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) incr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = 0
+}
+
+// racyBump is the race: three sibling accesses hold mu, this write does
+// not, and the diagnostic names the inferred guard.
+func (c *counter) racyBump() {
+	c.n++ // want `field \(lockguard\.counter\)\.n is guarded by \(lockguard\.counter\)\.mu on a supermajority of accesses but this write in \(counter\)\.racyBump does not hold it: acquire \(lockguard\.counter\)\.mu`
+}
+
+// newCounter initializes through a constructor-fresh local: not an
+// access as far as the guard statistics are concerned.
+func newCounter(start int) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}
+
+// Close is teardown by name: by contract the concurrent phase is over.
+func (c *counter) Close() error {
+	c.n = 0
+	return nil
+}
+
+// ---- caller-inherited context: the helper never locks, its callers always do ----
+
+type table struct {
+	mu      sync.Mutex
+	entries map[string]int
+}
+
+func (t *table) put(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries[k] = v
+	t.bump(k)
+}
+
+func (t *table) flush() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k := range t.entries {
+		t.bump(k)
+	}
+}
+
+// bump inherits mu from its callers: every call site holds it, so the
+// must-hold intersection counts this access as guarded.
+func (t *table) bump(k string) {
+	t.entries[k]++
+}
+
+// peek is the minority unguarded read.
+func (t *table) peek(k string) int {
+	return t.entries[k] // want `field \(lockguard\.table\)\.entries is guarded by \(lockguard\.table\)\.mu on a supermajority of accesses but this read in \(table\)\.peek does not hold it`
+}
+
+// ---- post-Wait teardown: reads after the WaitGroup drains are the idiom ----
+
+type pool struct {
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	total int
+}
+
+func (p *pool) add(n int) {
+	p.mu.Lock()
+	p.total += n
+	p.mu.Unlock()
+}
+
+func (p *pool) snapshot() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.total
+}
+
+func (p *pool) drain() int {
+	p.wg.Wait()
+	return p.total
+}
+
+// ---- declared guard: //wiscape:guardedby needs no supermajority ----
+
+type annotated struct {
+	mu sync.Mutex
+	//wiscape:guardedby mu
+	hits int
+}
+
+func (a *annotated) touch() {
+	a.mu.Lock()
+	a.hits++
+	a.mu.Unlock()
+}
+
+// racyTouch would survive inference (one guarded site against one
+// unguarded is no supermajority); the annotation pins the guard.
+func (a *annotated) racyTouch() {
+	a.hits++ // want `field \(lockguard\.annotated\)\.hits is annotated //wiscape:guardedby mu but this write in \(annotated\)\.racyTouch does not hold \(lockguard\.annotated\)\.mu`
+}
+
+// audited demonstrates the suppression escape hatch.
+func (a *annotated) audited() int {
+	//lint:ignore lockguard fixture: single-threaded stats probe audited by a human
+	return a.hits
+}
+
+// ---- below the supermajority: no guard is inferred, nothing fires ----
+
+type loose struct {
+	mu sync.Mutex
+	a  int
+}
+
+func (l *loose) lockedSet(v int) {
+	l.mu.Lock()
+	l.a = v
+	l.mu.Unlock()
+}
+
+func (l *loose) bareGet() int  { return l.a }
+func (l *loose) bareSet(v int) { l.a = v }
+
+// ---- cross-package positive: the guarded field lives in lockguard/box ----
+
+// racyLen reads the box map without its lock; the guard association
+// comes entirely from box's own methods.
+func racyLen(b *box.Box) int {
+	return len(b.Items) // want `field \(box\.Box\)\.Items is guarded by \(box\.Box\)\.Mu on a supermajority of accesses but this read in lockguard\.racyLen does not hold it`
+}

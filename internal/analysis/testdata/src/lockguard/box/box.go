@@ -1,0 +1,31 @@
+// Package box is the cross-package half of the lockguard fixture: a map
+// consistently guarded by its exported lock, so an unguarded access in
+// the parent package is the minority.
+package box
+
+import "sync"
+
+// Box is a shared map guarded by Mu on every access its own package
+// makes.
+type Box struct {
+	Mu    sync.Mutex
+	Items map[string]int
+}
+
+func (b *Box) Put(k string, v int) {
+	b.Mu.Lock()
+	b.Items[k] = v
+	b.Mu.Unlock()
+}
+
+func (b *Box) Len() int {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return len(b.Items)
+}
+
+func (b *Box) Del(k string) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	delete(b.Items, k)
+}

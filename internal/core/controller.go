@@ -118,7 +118,11 @@ func (c *Controller) newZoneState() *zoneState {
 }
 
 // Config returns the controller's configuration.
-func (c *Controller) Config() Config { return c.cfg }
+func (c *Controller) Config() Config {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg
+}
 
 // SetNormalizer installs a device normalizer: samples tagged with a device
 // class are mapped into reference-class units before aggregation, making
@@ -373,10 +377,11 @@ const nkldReconstructed = 512
 // as the window grows, so the scheduler can call this on every task round.
 func (c *Controller) RequiredSamplesFor(key Key) int {
 	c.mu.Lock()
+	cfg := c.cfg // copied under mu; the resampling below runs outside it
 	st := c.zones[key]
 	if st == nil {
 		c.mu.Unlock()
-		return c.cfg.DefaultSamplesPerEpoch
+		return cfg.DefaultSamplesPerEpoch
 	}
 	count := st.window.Count()
 	needRefresh := st.required == 0 || count > st.requiredCount*2
@@ -394,9 +399,9 @@ func (c *Controller) RequiredSamplesFor(key Key) int {
 	vals := st.window.Samples(m)
 	c.mu.Unlock()
 
-	n, ok := RequiredSamples(vals, c.cfg, uint64(count))
+	n, ok := RequiredSamples(vals, cfg, uint64(count))
 	if !ok {
-		n = c.cfg.DefaultSamplesPerEpoch
+		n = cfg.DefaultSamplesPerEpoch
 	}
 
 	c.mu.Lock()

@@ -182,7 +182,13 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 	st.met = newMetrics(opts.Telemetry, &st.lastCkpt)
 	recordRecovery(opts.Telemetry, rec)
-	if err := st.openSegmentLocked(st.nextLSN); err != nil {
+	// Nothing else can hold a *Store yet, but taking mu here keeps the
+	// "*Locked helpers run under mu" convention true at every call site —
+	// which is what lets lockguard check it.
+	st.mu.Lock()
+	err = st.openSegmentLocked(st.nextLSN)
+	st.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	if opts.Fsync.Interval > 0 {
@@ -393,6 +399,7 @@ func (st *Store) compactLocked() {
 // syncLoop is the interval-fsync policy's background flusher.
 func (st *Store) syncLoop() {
 	defer st.wg.Done()
+	//lint:ignore lockguard opts is write-once in Open, before this goroutine starts
 	t := time.NewTicker(st.opts.Fsync.Interval)
 	defer t.Stop()
 	for {
